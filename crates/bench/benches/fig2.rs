@@ -1,0 +1,52 @@
+//! Criterion bench for Figure 2: per-invariant verification time on the
+//! §5.1 datacenter, for the Rules misconfiguration (violated + holds).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vmn::Verifier;
+use vmn_bench::sliced;
+use vmn_scenarios::datacenter::{Datacenter, DatacenterParams};
+
+fn params() -> DatacenterParams {
+    DatacenterParams {
+        racks: 10,
+        hosts_per_rack: 4,
+        policy_groups: 5,
+        redundant: true,
+        with_failures: true,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_rules");
+    group.sample_size(10);
+
+    let mut dc = Datacenter::build(params());
+    let mut rng = StdRng::seed_from_u64(2);
+    let pairs = dc.inject_rule_misconfig(&mut rng, 1);
+    let verifier = Verifier::new(&dc.net, sliced(dc.policy_hint())).unwrap();
+    let violated = dc.pair_isolation(pairs[0].0, pairs[0].1);
+    let clean_pair = (0..5)
+        .flat_map(|a| (0..5).map(move |b| (a, b)))
+        .find(|&(a, b)| a != b && !pairs.contains(&(a, b)))
+        .unwrap();
+    let holds = dc.pair_isolation(clean_pair.0, clean_pair.1);
+
+    group.bench_function("violated", |b| {
+        b.iter(|| {
+            let r = verifier.verify(&violated).unwrap();
+            assert!(!r.verdict.holds());
+        })
+    });
+    group.bench_function("holds", |b| {
+        b.iter(|| {
+            let r = verifier.verify(&holds).unwrap();
+            assert!(r.verdict.holds());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for Figure 3: verifying *all* invariants (with
+//! symmetry) at two policy-complexity points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vmn::Verifier;
+use vmn_bench::sliced;
+use vmn_scenarios::datacenter::{Datacenter, DatacenterParams};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_all_invariants");
+    group.sample_size(10);
+    for classes in [5usize, 10] {
+        let mut dc = Datacenter::build(DatacenterParams {
+            racks: classes * 2,
+            hosts_per_rack: 4,
+            policy_groups: classes,
+            redundant: true,
+            with_failures: true,
+        });
+        let mut rng = StdRng::seed_from_u64(3);
+        dc.inject_rule_misconfig(&mut rng, classes / 2);
+        let invs = dc.isolation_invariants();
+        let verifier = Verifier::new(&dc.net, sliced(dc.policy_hint())).unwrap();
+        group.bench_with_input(BenchmarkId::new("classes", classes), &classes, |b, _| {
+            b.iter(|| {
+                let reports = verifier.verify_all(&invs, 1).unwrap();
+                assert_eq!(reports.len(), invs.len());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for Figure 4: per-invariant data-isolation time
+//! (violated vs holds) at the smallest policy-complexity point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vmn::Verifier;
+use vmn_bench::sliced;
+use vmn_scenarios::data_isolation::{DataIsolation, DataIsolationParams};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_data_isolation");
+    group.sample_size(10);
+    let params = DataIsolationParams { policy_groups: 4, clients_per_group: 1 };
+
+    let mut d = DataIsolation::build(params.clone());
+    let mut rng = StdRng::seed_from_u64(4);
+    let hit = d.inject_cache_misconfig(&mut rng, 1)[0];
+    let inv = d.private_isolation(hit, (hit + 1) % 4);
+    let verifier = Verifier::new(&d.net, sliced(d.policy_hint())).unwrap();
+    group.bench_function("violated", |b| {
+        b.iter(|| {
+            let r = verifier.verify(&inv).unwrap();
+            assert!(!r.verdict.holds());
+        })
+    });
+
+    let d2 = DataIsolation::build(params);
+    let inv2 = d2.private_isolation(0, 1);
+    let verifier2 = Verifier::new(&d2.net, sliced(d2.policy_hint())).unwrap();
+    group.bench_function("holds", |b| {
+        b.iter(|| {
+            let r = verifier2.verify(&inv2).unwrap();
+            assert!(r.verdict.holds());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

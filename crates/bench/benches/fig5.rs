@@ -1,0 +1,25 @@
+//! Criterion bench for Figure 5: all data-isolation invariants (with
+//! symmetry) at the smallest policy-complexity point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vmn::Verifier;
+use vmn_bench::sliced;
+use vmn_scenarios::data_isolation::{DataIsolation, DataIsolationParams};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_all_data_isolation");
+    group.sample_size(10);
+    let d = DataIsolation::build(DataIsolationParams { policy_groups: 4, clients_per_group: 1 });
+    let invs = d.invariants();
+    let verifier = Verifier::new(&d.net, sliced(d.policy_hint())).unwrap();
+    group.bench_function("classes/4", |b| {
+        b.iter(|| {
+            let reports = verifier.verify_all(&invs, 1).unwrap();
+            assert_eq!(reports.len(), invs.len());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for Figure 7: enterprise network, slice versus
+//! whole-network verification of the private-subnet invariant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vmn::Verifier;
+use vmn_bench::{sliced, whole};
+use vmn_scenarios::enterprise::{Enterprise, EnterpriseParams, SubnetKind};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_enterprise");
+    group.sample_size(10);
+
+    let e = Enterprise::build(EnterpriseParams { subnets: 3, hosts_per_subnet: 2 });
+    let inv = e.invariant_for(SubnetKind::Private);
+    let v_slice = Verifier::new(&e.net, sliced(e.policy_hint())).unwrap();
+    group.bench_function("slice", |b| {
+        b.iter(|| {
+            let r = v_slice.verify(&inv).unwrap();
+            assert!(r.verdict.holds());
+        })
+    });
+    let v_whole = Verifier::new(&e.net, whole(e.policy_hint())).unwrap();
+    group.bench_function("whole/smallest", |b| {
+        b.iter(|| {
+            let r = v_whole.verify(&inv).unwrap();
+            assert!(r.verdict.holds());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for Figure 8: multi-tenant datacenter, slice versus
+//! whole-network verification of the Priv-Priv invariant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vmn::Verifier;
+use vmn_bench::{sliced, whole};
+use vmn_scenarios::multi_tenant::{MultiTenant, MultiTenantParams};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_multi_tenant");
+    group.sample_size(10);
+
+    let m = MultiTenant::build(MultiTenantParams { tenants: 2, vms_per_group: 3 });
+    let inv = m.priv_priv(0, 1);
+    let v_slice = Verifier::new(&m.net, sliced(m.policy_hint())).unwrap();
+    group.bench_function("slice", |b| {
+        b.iter(|| {
+            let r = v_slice.verify(&inv).unwrap();
+            assert!(r.verdict.holds());
+        })
+    });
+    let v_whole = Verifier::new(&m.net, whole(m.policy_hint())).unwrap();
+    group.bench_function("whole/2-tenants", |b| {
+        b.iter(|| {
+            let r = v_whole.verify(&inv).unwrap();
+            assert!(r.verdict.holds());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for Figure 9(b): ISP, slice versus whole network as
+//! subnets grow (smallest whole-network point).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vmn::Verifier;
+use vmn_bench::{sliced, whole};
+use vmn_scenarios::isp::{Isp, IspParams};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9b_isp_subnets");
+    group.sample_size(10);
+
+    let isp = Isp::build(IspParams {
+        peering_points: 3,
+        subnets: 3,
+        scrubber_behind_firewall: true,
+        attacked_subnet: 1,
+    });
+    let inv = isp.invariant_for(1, 1);
+    let v_slice = Verifier::new(&isp.net, sliced(isp.policy_hint())).unwrap();
+    group.bench_function("slice", |b| {
+        b.iter(|| {
+            let r = v_slice.verify(&inv).unwrap();
+            assert!(r.verdict.holds());
+        })
+    });
+    let v_whole = Verifier::new(&isp.net, whole(isp.policy_hint())).unwrap();
+    group.bench_function("whole/3-subnets", |b| {
+        b.iter(|| {
+            let r = v_whole.verify(&inv).unwrap();
+            assert!(r.verdict.holds());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for Figure 9(c): ISP, slice versus whole network as
+//! peering points grow (smallest whole-network point).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vmn::Verifier;
+use vmn_bench::{sliced, whole};
+use vmn_scenarios::isp::{Isp, IspParams};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9c_isp_peering");
+    group.sample_size(10);
+
+    let isp = Isp::build(IspParams {
+        peering_points: 1,
+        subnets: 9,
+        scrubber_behind_firewall: true,
+        attacked_subnet: 1,
+    });
+    let inv = isp.invariant_for(1, 0);
+    let v_slice = Verifier::new(&isp.net, sliced(isp.policy_hint())).unwrap();
+    group.bench_function("slice", |b| {
+        b.iter(|| {
+            let r = v_slice.verify(&inv).unwrap();
+            assert!(r.verdict.holds());
+        })
+    });
+    let v_whole = Verifier::new(&isp.net, whole(isp.policy_hint())).unwrap();
+    group.bench_function("whole/1-peer", |b| {
+        b.iter(|| {
+            let r = v_whole.verify(&inv).unwrap();
+            assert!(r.verdict.holds());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

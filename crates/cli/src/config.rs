@@ -1,0 +1,578 @@
+//! The `.vmn` network-description format and its parser.
+//!
+//! A deliberately small line-oriented format — enough for an operator to
+//! describe a topology, its routing, middlebox configurations, failure
+//! scenarios and invariants in one file:
+//!
+//! ```text
+//! # comments start with '#'
+//! host     outside 8.8.8.8
+//! host     inside  10.0.0.5
+//! switch   sw
+//! firewall fw allow 10.0.0.0/8 -> 0.0.0.0/0
+//! nat      n1 internal 10.0.0.0/8 external 1.2.3.4
+//! cache    c1 servers 10.1.0.0/16 deny 10.3.0.0/16 -> 10.1.0.1/32
+//! idps     ips1
+//! link     outside sw
+//! link     inside  sw
+//! link     fw      sw
+//! route    sw 10.0.0.5/32 inside                 # dst-prefix next-hop
+//! steer    sw from outside 0.0.0.0/0 fw prio 10  # ingress-qualified
+//! autoroute                                       # shortest-path host routes
+//! fail     fw                                     # a failure scenario
+//! verify   flow-isolation outside -> inside
+//! verify   node-isolation outside -> inside
+//! verify   data-isolation inside -> outside
+//! verify   traversal outside -> inside via fw
+//! ```
+
+use std::collections::HashMap;
+use vmn::{Invariant, Network};
+use vmn_mbox::models;
+use vmn_net::{Address, FailureScenario, NodeId, Prefix, Rule, RoutingConfig, Topology};
+
+/// A parsed configuration: the network plus the invariants to verify.
+pub struct Config {
+    pub net: Network,
+    pub invariants: Vec<(String, Invariant)>,
+    /// Pipeline invariants: (spec text, spec, src, dst).
+    pub pipelines: Vec<(String, vmn_net::PipelineSpec, NodeId, NodeId)>,
+}
+
+/// Parse error with line information.
+#[derive(Debug)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// Parses a `.vmn` document.
+pub fn parse(text: &str) -> Result<Config, ParseError> {
+    let mut topo = Topology::new();
+    let mut names: HashMap<String, NodeId> = HashMap::new();
+    struct PendingModel {
+        line: usize,
+        node: String,
+        kind: String,
+        args: Vec<String>,
+    }
+    let mut pending_models: Vec<PendingModel> = Vec::new();
+    let mut pending_links: Vec<(usize, String, String)> = Vec::new();
+    let mut pending_routes: Vec<(usize, Vec<String>)> = Vec::new();
+    let mut pending_steers: Vec<(usize, Vec<String>)> = Vec::new();
+    let mut pending_fails: Vec<(usize, Vec<String>)> = Vec::new();
+    let mut pending_verifies: Vec<(usize, String)> = Vec::new();
+    let mut autoroute = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        let keyword = tok.next().expect("non-empty line");
+        let rest: Vec<String> = tok.map(str::to_string).collect();
+        match keyword {
+            "host" => {
+                let [name, addr] = two(lineno, &rest, "host <name> <address>")?;
+                let a: Address =
+                    addr.parse().map_err(|e| err(lineno, format!("bad address: {e}")))?;
+                insert_node(&mut names, lineno, name.clone(), topo.add_host(name, a))?;
+            }
+            "switch" => {
+                let name = one(lineno, &rest, "switch <name>")?;
+                insert_node(&mut names, lineno, name.clone(), topo.add_switch(name))?;
+            }
+            "firewall" | "acl-firewall" | "nat" | "cache" | "idps" | "ids" | "scrubber"
+            | "gateway" | "wan-optimizer" | "lb" => {
+                if rest.is_empty() {
+                    return Err(err(lineno, format!("{keyword} needs a name")));
+                }
+                let name = rest[0].clone();
+                // NATs and LBs own addresses; extract them for the topology.
+                let addresses = owned_addresses(keyword, &rest).map_err(|m| err(lineno, m))?;
+                let id = topo.add_middlebox(name.clone(), keyword, addresses);
+                insert_node(&mut names, lineno, name.clone(), id)?;
+                pending_models.push(PendingModel {
+                    line: lineno,
+                    node: name,
+                    kind: keyword.to_string(),
+                    args: rest[1..].to_vec(),
+                });
+            }
+            "link" => {
+                let [a, b] = two(lineno, &rest, "link <a> <b>")?;
+                pending_links.push((lineno, a, b));
+            }
+            "route" => pending_routes.push((lineno, rest)),
+            "steer" => pending_steers.push((lineno, rest)),
+            "autoroute" => autoroute = true,
+            "fail" => pending_fails.push((lineno, rest)),
+            "verify" => pending_verifies.push((lineno, rest.join(" "))),
+            other => return Err(err(lineno, format!("unknown keyword {other:?}"))),
+        }
+    }
+
+    for (lineno, a, b) in pending_links {
+        let na = lookup(&names, lineno, &a)?;
+        let nb = lookup(&names, lineno, &b)?;
+        topo.add_link(na, nb);
+    }
+
+    let mut tables = if autoroute {
+        let mut rc = RoutingConfig::new();
+        rc.host_routes(&topo);
+        rc.build(&topo, &FailureScenario::none())
+    } else {
+        vmn_net::ForwardingTables::new()
+    };
+    for (lineno, args) in pending_routes {
+        // route <switch> <prefix> <next> [prio N]
+        if args.len() < 3 {
+            return Err(err(lineno, "route <switch> <prefix> <next-hop> [prio N]"));
+        }
+        let sw = lookup(&names, lineno, &args[0])?;
+        let prefix: Prefix =
+            args[1].parse().map_err(|e| err(lineno, format!("bad prefix: {e}")))?;
+        let next = lookup(&names, lineno, &args[2])?;
+        let prio = parse_prio(lineno, &args[3..])?;
+        tables.add_rule(sw, Rule::new(prefix, next).with_priority(prio));
+    }
+    for (lineno, args) in pending_steers {
+        // steer <switch> from <node> <prefix> <next> [prio N]
+        if args.len() < 5 || args[1] != "from" {
+            return Err(err(lineno, "steer <switch> from <node> <prefix> <next-hop> [prio N]"));
+        }
+        let sw = lookup(&names, lineno, &args[0])?;
+        let from = lookup(&names, lineno, &args[2])?;
+        let prefix: Prefix =
+            args[3].parse().map_err(|e| err(lineno, format!("bad prefix: {e}")))?;
+        let next = lookup(&names, lineno, &args[4])?;
+        let prio = parse_prio(lineno, &args[5..])?;
+        tables.add_rule(sw, Rule::from_neighbor(prefix, from, next).with_priority(prio));
+    }
+
+    let mut net = Network::new(topo, tables);
+    for pm in pending_models {
+        let node = lookup(&names, pm.line, &pm.node)?;
+        let model = build_model(pm.line, &pm.kind, &pm.node, &pm.args)?;
+        net.set_model(node, model);
+    }
+    for (lineno, args) in pending_fails {
+        let mut nodes = Vec::new();
+        for a in &args {
+            nodes.push(lookup(&names, lineno, a)?);
+        }
+        net.add_scenario(FailureScenario::nodes(nodes));
+    }
+
+    let mut invariants = Vec::new();
+    let mut pipelines = Vec::new();
+    for (lineno, spec) in pending_verifies {
+        let toks: Vec<&str> = spec.split_whitespace().collect();
+        if toks.first() == Some(&"pipeline") {
+            // verify pipeline <src> -> <dst> via <type> [<type>…]
+            match toks.as_slice() {
+                [_, src, "->", dst, "via", types @ ..] if !types.is_empty() => {
+                    let s = lookup(&names, lineno, src)?;
+                    let d = lookup(&names, lineno, dst)?;
+                    let spec_obj = vmn_net::PipelineSpec::new(types.iter().copied());
+                    pipelines.push((spec.clone(), spec_obj, s, d));
+                }
+                _ => {
+                    return Err(err(
+                        lineno,
+                        "usage: verify pipeline <src> -> <dst> via <mbox-type>…",
+                    ))
+                }
+            }
+        } else {
+            invariants.push((spec.clone(), parse_invariant(&names, lineno, &spec)?));
+        }
+    }
+
+    Ok(Config { net, invariants, pipelines })
+}
+
+fn insert_node(
+    names: &mut HashMap<String, NodeId>,
+    line: usize,
+    name: String,
+    id: NodeId,
+) -> Result<(), ParseError> {
+    if names.insert(name.clone(), id).is_some() {
+        return Err(err(line, format!("duplicate node name {name:?}")));
+    }
+    Ok(())
+}
+
+fn lookup(names: &HashMap<String, NodeId>, line: usize, name: &str) -> Result<NodeId, ParseError> {
+    names.get(name).copied().ok_or_else(|| err(line, format!("unknown node {name:?}")))
+}
+
+fn one(line: usize, rest: &[String], usage: &str) -> Result<String, ParseError> {
+    match rest {
+        [a] => Ok(a.clone()),
+        _ => Err(err(line, format!("usage: {usage}"))),
+    }
+}
+
+fn two(line: usize, rest: &[String], usage: &str) -> Result<[String; 2], ParseError> {
+    match rest {
+        [a, b] => Ok([a.clone(), b.clone()]),
+        _ => Err(err(line, format!("usage: {usage}"))),
+    }
+}
+
+fn parse_prio(line: usize, rest: &[String]) -> Result<i32, ParseError> {
+    match rest {
+        [] => Ok(0),
+        [kw, n] if kw == "prio" => {
+            n.parse().map_err(|_| err(line, format!("bad priority {n:?}")))
+        }
+        _ => Err(err(line, "expected `prio N` or nothing")),
+    }
+}
+
+/// Addresses a middlebox owns, for the topology (NAT external, LB VIP).
+fn owned_addresses(kind: &str, rest: &[String]) -> Result<Vec<Address>, String> {
+    let find = |key: &str| -> Option<&str> {
+        rest.iter().position(|t| t == key).and_then(|i| rest.get(i + 1)).map(String::as_str)
+    };
+    match kind {
+        "nat" => {
+            let ext = find("external").ok_or("nat needs `external <address>`")?;
+            Ok(vec![ext.parse().map_err(|e| format!("bad external address: {e}"))?])
+        }
+        "lb" => {
+            let vip = find("vip").ok_or("lb needs `vip <address>`")?;
+            Ok(vec![vip.parse().map_err(|e| format!("bad vip: {e}"))?])
+        }
+        _ => Ok(Vec::new()),
+    }
+}
+
+/// Parses `A/B -> C/D` pair lists separated by `,`.
+fn parse_pairs(line: usize, toks: &[String]) -> Result<Vec<(Prefix, Prefix)>, ParseError> {
+    let joined = toks.join(" ");
+    let mut out = Vec::new();
+    for chunk in joined.split(',') {
+        let chunk = chunk.trim();
+        if chunk.is_empty() {
+            continue;
+        }
+        let (a, b) = chunk
+            .split_once("->")
+            .ok_or_else(|| err(line, format!("expected `src -> dst`, got {chunk:?}")))?;
+        let pa: Prefix =
+            a.trim().parse().map_err(|e| err(line, format!("bad prefix {a:?}: {e}")))?;
+        let pb: Prefix =
+            b.trim().parse().map_err(|e| err(line, format!("bad prefix {b:?}: {e}")))?;
+        out.push((pa, pb));
+    }
+    Ok(out)
+}
+
+fn build_model(
+    line: usize,
+    kind: &str,
+    name: &str,
+    args: &[String],
+) -> Result<vmn_mbox::MboxModel, ParseError> {
+    let find = |key: &str| -> Option<usize> { args.iter().position(|t| t == key) };
+    match kind {
+        "firewall" => {
+            let acl = match find("allow") {
+                Some(i) => parse_pairs(line, &args[i + 1..])?,
+                None => Vec::new(),
+            };
+            Ok(models::learning_firewall(kind, acl))
+        }
+        "acl-firewall" => {
+            let acl = match find("allow") {
+                Some(i) => parse_pairs(line, &args[i + 1..])?,
+                None => Vec::new(),
+            };
+            Ok(models::acl_firewall(kind, acl))
+        }
+        "nat" => {
+            let internal = find("internal")
+                .and_then(|i| args.get(i + 1))
+                .ok_or_else(|| err(line, "nat needs `internal <prefix>`"))?;
+            let external = find("external")
+                .and_then(|i| args.get(i + 1))
+                .ok_or_else(|| err(line, "nat needs `external <address>`"))?;
+            Ok(models::nat(
+                kind,
+                internal.parse().map_err(|e| err(line, format!("bad prefix: {e}")))?,
+                external.parse().map_err(|e| err(line, format!("bad address: {e}")))?,
+            ))
+        }
+        "cache" => {
+            let servers_at = find("servers")
+                .ok_or_else(|| err(line, "cache needs `servers <prefix>[,<prefix>…]`"))?;
+            let deny_at = find("deny");
+            let servers_end = deny_at.unwrap_or(args.len());
+            let mut servers = Vec::new();
+            for t in args[servers_at + 1..servers_end].join(" ").split(',') {
+                let t = t.trim();
+                if t.is_empty() {
+                    continue;
+                }
+                servers
+                    .push(t.parse().map_err(|e| err(line, format!("bad prefix {t:?}: {e}")))?);
+            }
+            let deny = match deny_at {
+                Some(i) => parse_pairs(line, &args[i + 1..])?,
+                None => Vec::new(),
+            };
+            Ok(models::content_cache(kind, servers, deny))
+        }
+        "idps" => Ok(models::idps(kind)),
+        "ids" => Ok(models::ids_monitor(kind)),
+        "scrubber" => Ok(models::scrubber(kind)),
+        "gateway" => Ok(models::gateway(kind)),
+        "wan-optimizer" => Ok(models::wan_optimizer(kind)),
+        "lb" => {
+            let vip = find("vip")
+                .and_then(|i| args.get(i + 1))
+                .ok_or_else(|| err(line, "lb needs `vip <address>`"))?;
+            let backends_at = find("backends")
+                .ok_or_else(|| err(line, "lb needs `backends <a>,<b>…`"))?;
+            let mut backends = Vec::new();
+            for t in args[backends_at + 1..].join(" ").split(',') {
+                let t = t.trim();
+                if t.is_empty() {
+                    continue;
+                }
+                backends
+                    .push(t.parse().map_err(|e| err(line, format!("bad address {t:?}: {e}")))?);
+            }
+            Ok(models::load_balancer(
+                kind,
+                vip.parse().map_err(|e| err(line, format!("bad vip: {e}")))?,
+                backends,
+            ))
+        }
+        other => Err(err(line, format!("unknown middlebox kind {other:?} for {name}"))),
+    }
+}
+
+fn parse_invariant(
+    names: &HashMap<String, NodeId>,
+    line: usize,
+    spec: &str,
+) -> Result<Invariant, ParseError> {
+    let toks: Vec<&str> = spec.split_whitespace().collect();
+    match toks.as_slice() {
+        [kind, src, "->", dst, rest @ ..] => {
+            let s = lookup(names, line, src)?;
+            let d = lookup(names, line, dst)?;
+            match (*kind, rest) {
+                ("node-isolation", []) => Ok(Invariant::NodeIsolation { src: s, dst: d }),
+                ("flow-isolation", []) => Ok(Invariant::FlowIsolation { src: s, dst: d }),
+                ("data-isolation", []) => Ok(Invariant::DataIsolation { origin: s, dst: d }),
+                ("traversal", ["via", boxes @ ..]) if !boxes.is_empty() => {
+                    let mut through = Vec::new();
+                    for b in boxes {
+                        through.push(lookup(names, line, b)?);
+                    }
+                    Ok(Invariant::Traversal { dst: d, through, from: Some(s) })
+                }
+                _ => Err(err(line, format!("bad invariant spec {spec:?}"))),
+            }
+        }
+        _ => Err(err(
+            line,
+            "usage: verify <kind> <src> -> <dst> [via <mbox>…] \
+             where kind is node-isolation | flow-isolation | data-isolation | traversal",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r"
+# minimal firewalled pair
+host     outside 8.8.8.8
+host     inside  10.0.0.5
+switch   sw
+firewall fw allow 10.0.0.0/8 -> 0.0.0.0/0
+link     outside sw
+link     inside  sw
+link     fw      sw
+autoroute
+steer    sw from outside 0.0.0.0/0 fw prio 10
+steer    sw from inside  0.0.0.0/0 fw prio 10
+fail     fw
+verify   flow-isolation outside -> inside
+verify   node-isolation outside -> inside
+";
+
+    /// The sample without the failure scenario: with the firewall up,
+    /// flow isolation is enforced.
+    const SAMPLE_NO_FAIL: &str = r"
+host     outside 8.8.8.8
+host     inside  10.0.0.5
+switch   sw
+firewall fw allow 10.0.0.0/8 -> 0.0.0.0/0
+link     outside sw
+link     inside  sw
+link     fw      sw
+autoroute
+steer    sw from outside 0.0.0.0/0 fw prio 10
+steer    sw from inside  0.0.0.0/0 fw prio 10
+verify   flow-isolation outside -> inside
+verify   node-isolation outside -> inside
+";
+
+    #[test]
+    fn parses_sample() {
+        let cfg = parse(SAMPLE).expect("parses");
+        assert_eq!(cfg.net.topo.hosts().count(), 2);
+        assert_eq!(cfg.net.topo.middleboxes().count(), 1);
+        assert_eq!(cfg.invariants.len(), 2);
+        assert_eq!(cfg.net.scenarios.len(), 1);
+        cfg.net.validate().expect("all middleboxes have models");
+    }
+
+    #[test]
+    fn verifies_sample_end_to_end() {
+        // Without failures the firewall enforces flow isolation.
+        let cfg = parse(SAMPLE_NO_FAIL).unwrap();
+        let v = vmn::Verifier::new(&cfg.net, vmn::VerifyOptions::default()).unwrap();
+        let flow = v.verify(&cfg.invariants[0].1).unwrap();
+        assert!(flow.verdict.holds());
+        let node = v.verify(&cfg.invariants[1].1).unwrap();
+        assert!(!node.verdict.holds());
+
+        // With the `fail fw` scenario, routing falls back to the direct
+        // path (no backup is configured) and even flow isolation breaks —
+        // exactly what failure-scenario checking is for.
+        let cfg = parse(SAMPLE).unwrap();
+        let v = vmn::Verifier::new(&cfg.net, vmn::VerifyOptions::default()).unwrap();
+        let flow = v.verify(&cfg.invariants[0].1).unwrap();
+        match flow.verdict {
+            vmn::Verdict::Violated { scenario, .. } => {
+                assert_eq!(scenario.fault_count(), 1);
+            }
+            vmn::Verdict::Holds => panic!("failure bypass should violate flow isolation"),
+        }
+    }
+
+    fn parse_err(text: &str) -> ParseError {
+        match parse(text) {
+            Ok(_) => panic!("expected a parse error"),
+            Err(e) => e,
+        }
+    }
+
+    #[test]
+    fn reports_unknown_nodes_with_line_numbers() {
+        let e = parse_err("host a 1.2.3.4\nlink a ghost\n");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("ghost"));
+    }
+
+    #[test]
+    fn reports_bad_keywords() {
+        let e = parse_err("frobnicate x\n");
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let e = parse_err("host a 1.2.3.4\nhost a 1.2.3.5\n");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn nat_and_lb_parse_with_addresses() {
+        let text = r"
+host h 10.0.0.1
+host e 8.8.8.8
+switch sw
+nat n1 internal 10.0.0.0/8 external 1.2.3.4
+lb  l1 vip 10.0.0.100 backends 10.0.0.1,10.0.0.2
+link h sw
+link e sw
+link n1 sw
+link l1 sw
+autoroute
+verify flow-isolation e -> h
+";
+        let cfg = parse(text).expect("parses");
+        assert_eq!(cfg.net.topo.middleboxes().count(), 2);
+        let n1 = cfg.net.topo.by_name("n1").unwrap();
+        assert_eq!(cfg.net.topo.node(n1).addresses.len(), 1);
+    }
+
+    #[test]
+    fn pipeline_invariant_parses_and_checks() {
+        let text = r"
+host a 1.1.1.1
+host b 2.2.2.2
+switch sw
+idps i1
+link a sw
+link b sw
+link i1 sw
+autoroute
+steer sw from a 2.2.2.2/32 i1 prio 10
+verify pipeline a -> b via idps
+";
+        let cfg = parse(text).unwrap();
+        assert_eq!(cfg.pipelines.len(), 1);
+        let v = vmn::Verifier::new(&cfg.net, vmn::VerifyOptions::default()).unwrap();
+        let (_, spec, s, d) = &cfg.pipelines[0];
+        assert!(v.check_pipeline(spec, *s, *d).unwrap().is_none());
+    }
+
+    #[test]
+    fn traversal_invariant_parses() {
+        let text = r"
+host a 1.1.1.1
+host b 2.2.2.2
+switch sw
+idps i1
+link a sw
+link b sw
+link i1 sw
+autoroute
+verify traversal a -> b via i1
+";
+        let cfg = parse(text).unwrap();
+        assert!(matches!(cfg.invariants[0].1, Invariant::Traversal { .. }));
+    }
+
+    #[test]
+    fn cache_with_multiple_server_prefixes() {
+        let text = r"
+host a 1.1.1.1
+switch sw
+cache c1 servers 10.1.0.0/16,10.2.0.0/16 deny 10.3.0.0/16 -> 10.1.0.1/32
+link a sw
+link c1 sw
+autoroute
+";
+        let cfg = parse(text).unwrap();
+        let c1 = cfg.net.topo.by_name("c1").unwrap();
+        assert_eq!(cfg.net.model(c1).acls[0].1.len(), 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! `vmn` — verify reachability invariants in a network described by a
+//! `.vmn` file.
+//!
+//! ```console
+//! $ vmn check network.vmn [--whole-network] [--threads N] [--trace]
+//! ```
+//!
+//! Exit code 0 when every invariant that should hold holds; 1 when any
+//! invariant is violated; 2 on usage or parse errors.
+
+use std::process::ExitCode;
+use vmn::{Verdict, Verifier, VerifyOptions};
+
+mod config;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: vmn check <file.vmn> [--whole-network] [--threads N] [--trace]\n\
+         \n\
+         Verifies every `verify` line of the file and prints a verdict per\n\
+         invariant. --whole-network disables slicing (for comparison),\n\
+         --threads enables parallel verification, --trace prints violation\n\
+         witnesses."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut whole = false;
+    let mut threads = 1usize;
+    let mut trace = false;
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("check") => {}
+        _ => return usage(),
+    }
+    for a in it {
+        match a.as_str() {
+            "--whole-network" => whole = true,
+            "--trace" => trace = true,
+            s if s.starts_with("--threads=") => {
+                threads = match s["--threads=".len()..].parse() {
+                    Ok(n) => n,
+                    Err(_) => return usage(),
+                }
+            }
+            s if !s.starts_with('-') && file.is_none() => file = Some(s.to_string()),
+            _ => return usage(),
+        }
+    }
+    let Some(file) = file else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("vmn: cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match config::parse(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("vmn: {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let options = if whole { VerifyOptions::whole_network() } else { VerifyOptions::default() };
+    let verifier = match Verifier::new(&cfg.net, options) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("vmn: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let invariants: Vec<_> = cfg.invariants.iter().map(|(_, i)| i.clone()).collect();
+    let reports = match verifier.verify_all(&invariants, threads) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("vmn: verification failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut any_violated = false;
+    for ((spec, _), report) in cfg.invariants.iter().zip(&reports) {
+        match &report.verdict {
+            Verdict::Holds => {
+                println!(
+                    "HOLDS     {spec}   [{:?}, {} nodes{}]",
+                    report.elapsed,
+                    report.encoded_nodes,
+                    if report.inherited { ", by symmetry" } else { "" }
+                );
+            }
+            Verdict::Violated { trace: t, scenario } => {
+                any_violated = true;
+                let failures = if scenario.fault_count() == 0 {
+                    String::new()
+                } else {
+                    format!(" under failure of {:?}", scenario.failed_nodes)
+                };
+                println!("VIOLATED  {spec}{failures}   [{:?}]", report.elapsed);
+                if trace {
+                    print!("{}", t.render(&cfg.net));
+                }
+            }
+        }
+    }
+    for (spec, pipeline, src, dst) in &cfg.pipelines {
+        match verifier.check_pipeline(pipeline, *src, *dst) {
+            Ok(None) => println!("HOLDS     {spec}"),
+            Ok(Some((violation, scenario))) => {
+                any_violated = true;
+                let failures = if scenario.fault_count() == 0 {
+                    String::new()
+                } else {
+                    format!(" under failure of {:?}", scenario.failed_nodes)
+                };
+                println!("VIOLATED  {spec}{failures}");
+                if trace {
+                    println!("  {violation}");
+                }
+            }
+            Err(e) => {
+                eprintln!("vmn: pipeline check failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if any_violated {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

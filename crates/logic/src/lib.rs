@@ -1,0 +1,538 @@
+//! Linear temporal logic with past operators, and its bounded-trace
+//! grounding into quantifier-free SMT terms.
+//!
+//! VMN (the paper) expresses middlebox and network axioms in a simplified
+//! past-LTL — "♦" (an event occurred in the past) and "□" (a property holds
+//! at all times) — and converts them to first-order logic "by explicitly
+//! quantifying over time". This crate is that conversion, made concrete:
+//!
+//! * [`LtlBuilder`] interns formulas over an arbitrary atom type `A`
+//!   (the VMN encoder uses atoms like *"event e happens at this step"*),
+//! * [`LtlBuilder::eval`] gives the reference trace semantics (used by the
+//!   concrete simulator and by differential tests),
+//! * [`Grounder`] compiles a formula at a given timestep — or `□φ` over a
+//!   whole bounded trace — into [`vmn_smt`] terms, with memoisation so the
+//!   K-step unrolling stays linear in K.
+//!
+//! # Trace semantics
+//!
+//! A trace has steps `0 .. len`. Past operators look backwards:
+//!
+//! | operator | meaning at step `t` |
+//! |---|---|
+//! | `once φ` | φ holds at some step `≤ t` (inclusive ♦) |
+//! | `earlier φ` | φ holds at some step `< t` (strict ♦) |
+//! | `historically φ` | φ holds at every step `≤ t` |
+//! | `prev φ` | `t > 0` and φ holds at `t − 1` |
+//! | `since(φ, ψ)` | ψ held at some step `≤ t` and φ has held at every later step up to now |
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use vmn_smt::{TermId, TermPool};
+
+/// Handle to an interned formula inside an [`LtlBuilder`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Formula(u32);
+
+impl Formula {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum Node<A> {
+    True,
+    False,
+    Atom(A),
+    Not(Formula),
+    And(Vec<Formula>),
+    Or(Vec<Formula>),
+    Implies(Formula, Formula),
+    Iff(Formula, Formula),
+    Once(Formula),
+    Earlier(Formula),
+    Historically(Formula),
+    Prev(Formula),
+    Since(Formula, Formula),
+}
+
+/// Interning builder for past-LTL formulas over atom type `A`.
+pub struct LtlBuilder<A> {
+    nodes: Vec<Node<A>>,
+    intern: HashMap<Node<A>, Formula>,
+}
+
+impl<A: Clone + Eq + Hash> Default for LtlBuilder<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Clone + Eq + Hash> LtlBuilder<A> {
+    pub fn new() -> Self {
+        LtlBuilder { nodes: Vec::new(), intern: HashMap::new() }
+    }
+
+    fn mk(&mut self, n: Node<A>) -> Formula {
+        if let Some(&f) = self.intern.get(&n) {
+            return f;
+        }
+        let f = Formula(self.nodes.len() as u32);
+        self.intern.insert(n.clone(), f);
+        self.nodes.push(n);
+        f
+    }
+
+    pub fn tru(&mut self) -> Formula {
+        self.mk(Node::True)
+    }
+
+    pub fn fls(&mut self) -> Formula {
+        self.mk(Node::False)
+    }
+
+    pub fn atom(&mut self, a: A) -> Formula {
+        self.mk(Node::Atom(a))
+    }
+
+    pub fn not(&mut self, f: Formula) -> Formula {
+        match &self.nodes[f.index()] {
+            Node::True => self.fls(),
+            Node::False => self.tru(),
+            Node::Not(inner) => *inner,
+            _ => self.mk(Node::Not(f)),
+        }
+    }
+
+    pub fn and(&mut self, fs: &[Formula]) -> Formula {
+        let mut out = Vec::new();
+        for &f in fs {
+            match &self.nodes[f.index()] {
+                Node::True => {}
+                Node::False => return self.fls(),
+                _ => out.push(f),
+            }
+        }
+        out.sort();
+        out.dedup();
+        match out.len() {
+            0 => self.tru(),
+            1 => out[0],
+            _ => self.mk(Node::And(out)),
+        }
+    }
+
+    pub fn or(&mut self, fs: &[Formula]) -> Formula {
+        let mut out = Vec::new();
+        for &f in fs {
+            match &self.nodes[f.index()] {
+                Node::False => {}
+                Node::True => return self.tru(),
+                _ => out.push(f),
+            }
+        }
+        out.sort();
+        out.dedup();
+        match out.len() {
+            0 => self.fls(),
+            1 => out[0],
+            _ => self.mk(Node::Or(out)),
+        }
+    }
+
+    pub fn implies(&mut self, a: Formula, b: Formula) -> Formula {
+        self.mk(Node::Implies(a, b))
+    }
+
+    pub fn iff(&mut self, a: Formula, b: Formula) -> Formula {
+        self.mk(Node::Iff(a, b))
+    }
+
+    /// ♦φ — φ held at some point in the past, **including now**.
+    pub fn once(&mut self, f: Formula) -> Formula {
+        self.mk(Node::Once(f))
+    }
+
+    /// φ held at some point **strictly** in the past.
+    pub fn earlier(&mut self, f: Formula) -> Formula {
+        self.mk(Node::Earlier(f))
+    }
+
+    /// φ has held at every step so far, including now.
+    pub fn historically(&mut self, f: Formula) -> Formula {
+        self.mk(Node::Historically(f))
+    }
+
+    /// φ held at the previous step (false at step 0).
+    pub fn prev(&mut self, f: Formula) -> Formula {
+        self.mk(Node::Prev(f))
+    }
+
+    /// `since(φ, ψ)`: ψ held at some past-or-present step, and φ has held
+    /// at every step after it (up to and including now).
+    pub fn since(&mut self, hold: Formula, trigger: Formula) -> Formula {
+        self.mk(Node::Since(hold, trigger))
+    }
+
+    /// Number of distinct interned formulas (diagnostics).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    // ---- reference semantics -------------------------------------------
+
+    /// Evaluates `f` at step `t` of a concrete trace. `valuation(a, s)`
+    /// gives the truth of atom `a` at step `s ≤ t`.
+    pub fn eval<V>(&self, f: Formula, t: usize, valuation: &mut V) -> bool
+    where
+        V: FnMut(&A, usize) -> bool,
+    {
+        match &self.nodes[f.index()] {
+            Node::True => true,
+            Node::False => false,
+            Node::Atom(a) => valuation(a, t),
+            Node::Not(x) => !self.eval(*x, t, valuation),
+            Node::And(xs) => xs.iter().all(|&x| self.eval(x, t, valuation)),
+            Node::Or(xs) => xs.iter().any(|&x| self.eval(x, t, valuation)),
+            Node::Implies(a, b) => !self.eval(*a, t, valuation) || self.eval(*b, t, valuation),
+            Node::Iff(a, b) => self.eval(*a, t, valuation) == self.eval(*b, t, valuation),
+            Node::Once(x) => (0..=t).any(|s| self.eval(*x, s, valuation)),
+            Node::Earlier(x) => (0..t).any(|s| self.eval(*x, s, valuation)),
+            Node::Historically(x) => (0..=t).all(|s| self.eval(*x, s, valuation)),
+            Node::Prev(x) => t > 0 && self.eval(*x, t - 1, valuation),
+            Node::Since(hold, trigger) => (0..=t).rev().any(|s| {
+                self.eval(*trigger, s, valuation)
+                    && ((s + 1)..=t).all(|r| self.eval(*hold, r, valuation))
+            }),
+        }
+    }
+
+    /// Evaluates `□f`: true iff `f` holds at every step of a trace of
+    /// length `len`.
+    pub fn eval_globally<V>(&self, f: Formula, len: usize, valuation: &mut V) -> bool
+    where
+        V: FnMut(&A, usize) -> bool,
+    {
+        (0..len).all(|t| self.eval(f, t, valuation))
+    }
+}
+
+/// Compiles formulas into [`vmn_smt`] terms over a bounded trace.
+///
+/// The grounder memoises on `(formula, step)`, and compiles the recursive
+/// definitions of the past operators (`once φ @ t = φ@t ∨ once φ @ t−1`)
+/// so the unrolled encoding is linear in trace length rather than
+/// quadratic.
+pub struct Grounder<A> {
+    memo: HashMap<(Formula, usize), TermId>,
+    _marker: std::marker::PhantomData<A>,
+}
+
+impl<A: Clone + Eq + Hash> Default for Grounder<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Clone + Eq + Hash> Grounder<A> {
+    pub fn new() -> Self {
+        Grounder { memo: HashMap::new(), _marker: std::marker::PhantomData }
+    }
+
+    /// Grounds `f` at step `t`. `atom(pool, a, s)` must produce the SMT
+    /// term for atom `a` at step `s` (and should be deterministic —
+    /// memoisation assumes repeated calls agree).
+    pub fn ground<V>(
+        &mut self,
+        builder: &LtlBuilder<A>,
+        pool: &mut TermPool,
+        f: Formula,
+        t: usize,
+        atom: &mut V,
+    ) -> TermId
+    where
+        V: FnMut(&mut TermPool, &A, usize) -> TermId,
+    {
+        if let Some(&cached) = self.memo.get(&(f, t)) {
+            return cached;
+        }
+        let out = match builder.nodes[f.index()].clone() {
+            Node::True => pool.tru(),
+            Node::False => pool.fls(),
+            Node::Atom(a) => atom(pool, &a, t),
+            Node::Not(x) => {
+                let gx = self.ground(builder, pool, x, t, atom);
+                pool.not(gx)
+            }
+            Node::And(xs) => {
+                let gs: Vec<TermId> =
+                    xs.iter().map(|&x| self.ground(builder, pool, x, t, atom)).collect();
+                pool.and(&gs)
+            }
+            Node::Or(xs) => {
+                let gs: Vec<TermId> =
+                    xs.iter().map(|&x| self.ground(builder, pool, x, t, atom)).collect();
+                pool.or(&gs)
+            }
+            Node::Implies(a, b) => {
+                let ga = self.ground(builder, pool, a, t, atom);
+                let gb = self.ground(builder, pool, b, t, atom);
+                pool.implies(ga, gb)
+            }
+            Node::Iff(a, b) => {
+                let ga = self.ground(builder, pool, a, t, atom);
+                let gb = self.ground(builder, pool, b, t, atom);
+                pool.iff(ga, gb)
+            }
+            Node::Once(x) => {
+                let now = self.ground(builder, pool, x, t, atom);
+                if t == 0 {
+                    now
+                } else {
+                    let before = self.ground(builder, pool, f, t - 1, atom);
+                    pool.or(&[now, before])
+                }
+            }
+            Node::Earlier(x) => {
+                if t == 0 {
+                    pool.fls()
+                } else {
+                    let prev_now = self.ground(builder, pool, x, t - 1, atom);
+                    let before = self.ground(builder, pool, f, t - 1, atom);
+                    pool.or(&[prev_now, before])
+                }
+            }
+            Node::Historically(x) => {
+                let now = self.ground(builder, pool, x, t, atom);
+                if t == 0 {
+                    now
+                } else {
+                    let before = self.ground(builder, pool, f, t - 1, atom);
+                    pool.and(&[now, before])
+                }
+            }
+            Node::Prev(x) => {
+                if t == 0 {
+                    pool.fls()
+                } else {
+                    self.ground(builder, pool, x, t - 1, atom)
+                }
+            }
+            Node::Since(hold, trigger) => {
+                let trig_now = self.ground(builder, pool, trigger, t, atom);
+                if t == 0 {
+                    trig_now
+                } else {
+                    let hold_now = self.ground(builder, pool, hold, t, atom);
+                    let before = self.ground(builder, pool, f, t - 1, atom);
+                    let cont = pool.and(&[hold_now, before]);
+                    pool.or(&[trig_now, cont])
+                }
+            }
+        };
+        self.memo.insert((f, t), out);
+        out
+    }
+
+    /// Grounds `□f` over a trace of length `len` (conjunction over all
+    /// steps). A zero-length trace yields `true`.
+    pub fn ground_globally<V>(
+        &mut self,
+        builder: &LtlBuilder<A>,
+        pool: &mut TermPool,
+        f: Formula,
+        len: usize,
+        atom: &mut V,
+    ) -> TermId
+    where
+        V: FnMut(&mut TermPool, &A, usize) -> TermId,
+    {
+        let parts: Vec<TermId> =
+            (0..len).map(|t| self.ground(builder, pool, f, t, atom)).collect();
+        pool.and(&parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type B = LtlBuilder<u8>;
+
+    /// Trace = per-step bitmask of true atoms (atom `a` true at `t` iff bit
+    /// `a` of `trace[t]` is set).
+    fn val(trace: &[u8]) -> impl FnMut(&u8, usize) -> bool + '_ {
+        move |a, t| (trace[t] >> a) & 1 == 1
+    }
+
+    #[test]
+    fn once_is_inclusive() {
+        let mut b = B::new();
+        let a = b.atom(0);
+        let f = b.once(a);
+        let trace = [0b0, 0b1, 0b0];
+        assert!(!b.eval(f, 0, &mut val(&trace)));
+        assert!(b.eval(f, 1, &mut val(&trace)), "includes the current step");
+        assert!(b.eval(f, 2, &mut val(&trace)), "persists");
+    }
+
+    #[test]
+    fn earlier_is_strict() {
+        let mut b = B::new();
+        let a = b.atom(0);
+        let f = b.earlier(a);
+        let trace = [0b0, 0b1, 0b0];
+        assert!(!b.eval(f, 0, &mut val(&trace)));
+        assert!(!b.eval(f, 1, &mut val(&trace)), "excludes the current step");
+        assert!(b.eval(f, 2, &mut val(&trace)));
+    }
+
+    #[test]
+    fn historically_fails_after_gap() {
+        let mut b = B::new();
+        let a = b.atom(0);
+        let f = b.historically(a);
+        let trace = [0b1, 0b0, 0b1];
+        assert!(b.eval(f, 0, &mut val(&trace)));
+        assert!(!b.eval(f, 1, &mut val(&trace)));
+        assert!(!b.eval(f, 2, &mut val(&trace)), "a single gap is fatal");
+    }
+
+    #[test]
+    fn prev_basics() {
+        let mut b = B::new();
+        let a = b.atom(0);
+        let f = b.prev(a);
+        let trace = [0b1, 0b0];
+        assert!(!b.eval(f, 0, &mut val(&trace)), "no previous step at t=0");
+        assert!(b.eval(f, 1, &mut val(&trace)));
+    }
+
+    #[test]
+    fn since_semantics() {
+        let mut b = B::new();
+        let hold = b.atom(0);
+        let trig = b.atom(1);
+        let f = b.since(hold, trig);
+        // t:        0     1     2     3
+        // hold:     -     yes   yes   no
+        // trigger:  yes   -     -     -
+        let trace = [0b10, 0b01, 0b01, 0b00];
+        assert!(b.eval(f, 0, &mut val(&trace)), "trigger now");
+        assert!(b.eval(f, 1, &mut val(&trace)));
+        assert!(b.eval(f, 2, &mut val(&trace)));
+        assert!(!b.eval(f, 3, &mut val(&trace)), "hold broke");
+    }
+
+    #[test]
+    fn interning_dedupes() {
+        let mut b = B::new();
+        let a1 = b.atom(3);
+        let a2 = b.atom(3);
+        assert_eq!(a1, a2);
+        let o1 = b.once(a1);
+        let o2 = b.once(a2);
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn grounding_on_constant_atoms_folds_to_constants() {
+        let mut b = B::new();
+        let a = b.atom(0);
+        let c = b.atom(1);
+        let oa = b.once(a);
+        let f = b.implies(oa, c);
+        let trace: [u8; 4] = [0b00, 0b01, 0b10, 0b11];
+        let mut pool = TermPool::new();
+        let mut g = Grounder::new();
+        for t in 0..trace.len() {
+            let expect = b.eval(f, t, &mut val(&trace));
+            let got = g.ground(&b, &mut pool, f, t, &mut |pool, atom, s| {
+                pool.bool_const((trace[s] >> atom) & 1 == 1)
+            });
+            assert_eq!(got, pool.bool_const(expect), "step {t}");
+        }
+    }
+
+    #[test]
+    fn ground_globally_is_conjunction_over_steps() {
+        let mut b = B::new();
+        let a = b.atom(0);
+        let f = b.once(a);
+        let mut pool = TermPool::new();
+        let mut g = Grounder::new();
+        // Atom true only at step 2 of 3: □(once a) is false (fails at 0).
+        let trace = [0b0, 0b0, 0b1];
+        let got = g.ground_globally(&b, &mut pool, f, 3, &mut |pool, atom, s| {
+            pool.bool_const((trace[s] >> atom) & 1 == 1)
+        });
+        assert_eq!(got, pool.fls());
+        // Atom true at step 0: □(once a) holds.
+        let trace2 = [0b1, 0b0, 0b0];
+        let mut g2 = Grounder::new();
+        let got2 = g2.ground_globally(&b, &mut pool, f, 3, &mut |pool, atom, s| {
+            pool.bool_const((trace2[s] >> atom) & 1 == 1)
+        });
+        assert_eq!(got2, pool.tru());
+    }
+
+    #[test]
+    fn grounding_with_free_atoms_matches_reference_expansion() {
+        // Ground once/earlier/historically with *symbolic* atoms and check
+        // agreement with a hand-expanded reference via the solver:
+        // ¬(grounded ↔ reference) must be UNSAT.
+        use vmn_smt::{Context, SatResult};
+        let mut b = B::new();
+        let a = b.atom(0);
+        let once = b.once(a);
+        let earlier = b.earlier(a);
+        let hist = b.historically(a);
+        let len = 4;
+
+        for (f, name) in [(once, "once"), (earlier, "earlier"), (hist, "hist")] {
+            for t in 0..len {
+                let mut ctx = Context::new();
+                let vars: Vec<TermId> = (0..len)
+                    .map(|s| ctx.fresh_const(format!("a@{s}"), vmn_smt::Sort::Bool))
+                    .collect();
+                let mut g = Grounder::new();
+                let grounded = {
+                    let vars = vars.clone();
+                    g.ground(&b, ctx.pool_mut(), f, t, &mut |_, _, s| vars[s])
+                };
+                let reference = match name {
+                    "once" => ctx.or(&vars[0..=t]),
+                    "earlier" => ctx.or(&vars[0..t]),
+                    "hist" => ctx.and(&vars[0..=t]),
+                    _ => unreachable!(),
+                };
+                let equiv = ctx.iff(grounded, reference);
+                let neq = ctx.not(equiv);
+                ctx.assert(neq);
+                assert_eq!(ctx.check(), SatResult::Unsat, "{name} at t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn memoisation_keeps_unrolling_linear() {
+        let mut b = B::new();
+        let a = b.atom(0);
+        let f = b.once(a);
+        let mut pool = TermPool::new();
+        let mut g = Grounder::new();
+        let len = 64;
+        let vars: Vec<TermId> =
+            (0..len).map(|t| pool.var(format!("a@{t}"), vmn_smt::Sort::Bool)).collect();
+        let before = pool.len();
+        g.ground(&b, &mut pool, f, len - 1, &mut |_, _, s| vars[s]);
+        let created = pool.len() - before;
+        // Linear: one OR node per step (plus small constant), not O(len²).
+        assert!(created <= 2 * len + 4, "created {created} terms for {len} steps");
+    }
+}

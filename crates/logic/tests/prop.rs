@@ -1,0 +1,157 @@
+//! Property-based tests: bounded-trace grounding must agree with the
+//! reference trace semantics on every formula and every trace.
+
+use proptest::prelude::*;
+use vmn_logic::{Formula, Grounder, LtlBuilder};
+use vmn_smt::TermPool;
+
+/// A generatable formula shape over 3 atoms.
+#[derive(Clone, Debug)]
+enum F {
+    Atom(u8),
+    Not(Box<F>),
+    And(Box<F>, Box<F>),
+    Or(Box<F>, Box<F>),
+    Implies(Box<F>, Box<F>),
+    Once(Box<F>),
+    Earlier(Box<F>),
+    Historically(Box<F>),
+    Prev(Box<F>),
+    Since(Box<F>, Box<F>),
+}
+
+fn formula() -> impl Strategy<Value = F> {
+    let leaf = (0u8..3).prop_map(F::Atom);
+    leaf.prop_recursive(5, 32, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| F::Not(Box::new(f))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| F::Implies(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|f| F::Once(Box::new(f))),
+            inner.clone().prop_map(|f| F::Earlier(Box::new(f))),
+            inner.clone().prop_map(|f| F::Historically(Box::new(f))),
+            inner.clone().prop_map(|f| F::Prev(Box::new(f))),
+            (inner.clone(), inner).prop_map(|(a, b)| F::Since(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build(b: &mut LtlBuilder<u8>, f: &F) -> Formula {
+    match f {
+        F::Atom(a) => b.atom(*a),
+        F::Not(x) => {
+            let i = build(b, x);
+            b.not(i)
+        }
+        F::And(x, y) => {
+            let (i, j) = (build(b, x), build(b, y));
+            b.and(&[i, j])
+        }
+        F::Or(x, y) => {
+            let (i, j) = (build(b, x), build(b, y));
+            b.or(&[i, j])
+        }
+        F::Implies(x, y) => {
+            let (i, j) = (build(b, x), build(b, y));
+            b.implies(i, j)
+        }
+        F::Once(x) => {
+            let i = build(b, x);
+            b.once(i)
+        }
+        F::Earlier(x) => {
+            let i = build(b, x);
+            b.earlier(i)
+        }
+        F::Historically(x) => {
+            let i = build(b, x);
+            b.historically(i)
+        }
+        F::Prev(x) => {
+            let i = build(b, x);
+            b.prev(i)
+        }
+        F::Since(x, y) => {
+            let (i, j) = (build(b, x), build(b, y));
+            b.since(i, j)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Grounding with constant atom valuations must constant-fold to
+    /// exactly the reference semantics, at every step of the trace.
+    #[test]
+    fn grounding_agrees_with_eval(f in formula(), trace in prop::collection::vec(0u8..8, 1..7)) {
+        let mut b = LtlBuilder::new();
+        let formula = build(&mut b, &f);
+        let mut pool = TermPool::new();
+        let mut g = Grounder::new();
+        for t in 0..trace.len() {
+            let expect = b.eval(formula, t, &mut |a, s| (trace[s] >> a) & 1 == 1);
+            let got = g.ground(&b, &mut pool, formula, t, &mut |pool, a, s| {
+                pool.bool_const((trace[s] >> a) & 1 == 1)
+            });
+            prop_assert_eq!(
+                got,
+                pool.bool_const(expect),
+                "disagreement at step {} for {:?} over {:?}", t, f, trace
+            );
+        }
+    }
+
+    /// `eval_globally` is the conjunction of per-step evaluations.
+    #[test]
+    fn globally_is_pointwise_conjunction(f in formula(), trace in prop::collection::vec(0u8..8, 1..7)) {
+        let mut b = LtlBuilder::new();
+        let formula = build(&mut b, &f);
+        let all = b.eval_globally(formula, trace.len(), &mut |a, s| (trace[s] >> a) & 1 == 1);
+        let pointwise = (0..trace.len())
+            .all(|t| b.eval(formula, t, &mut |a, s| (trace[s] >> a) & 1 == 1));
+        prop_assert_eq!(all, pointwise);
+    }
+
+    /// Temporal tautologies hold on every trace:
+    /// `historically φ → once φ` and `earlier φ → once φ`.
+    #[test]
+    fn temporal_tautologies(f in formula(), trace in prop::collection::vec(0u8..8, 1..7)) {
+        let mut b = LtlBuilder::new();
+        let x = build(&mut b, &f);
+        let hist = b.historically(x);
+        let once = b.once(x);
+        let earlier = b.earlier(x);
+        for t in 0..trace.len() {
+            let mut v = |a: &u8, s: usize| (trace[s] >> a) & 1 == 1;
+            if b.eval(hist, t, &mut v) {
+                prop_assert!(b.eval(once, t, &mut v), "H φ must imply O φ");
+            }
+            if b.eval(earlier, t, &mut v) {
+                prop_assert!(b.eval(once, t, &mut v), "earlier φ must imply O φ");
+            }
+        }
+    }
+
+    /// `since(φ, ψ)` sandwich: it implies `once ψ`, and is implied by
+    /// `ψ` holding now.
+    #[test]
+    fn since_sandwich(fa in formula(), fb in formula(), trace in prop::collection::vec(0u8..8, 1..7)) {
+        let mut b = LtlBuilder::new();
+        let hold = build(&mut b, &fa);
+        let trig = build(&mut b, &fb);
+        let since = b.since(hold, trig);
+        let once_trig = b.once(trig);
+        for t in 0..trace.len() {
+            let mut v = |a: &u8, s: usize| (trace[s] >> a) & 1 == 1;
+            if b.eval(since, t, &mut v) {
+                prop_assert!(b.eval(once_trig, t, &mut v));
+            }
+            if b.eval(trig, t, &mut v) {
+                prop_assert!(b.eval(since, t, &mut v));
+            }
+        }
+    }
+}

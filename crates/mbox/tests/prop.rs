@@ -1,0 +1,137 @@
+//! Property-based tests for middlebox models and their concrete
+//! interpreter.
+
+use proptest::prelude::*;
+use vmn_mbox::exec::{process, MboxState, SeqChooser};
+use vmn_mbox::models;
+use vmn_net::{Address, Header, Prefix};
+
+fn arb_header() -> impl Strategy<Value = Header> {
+    (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>()).prop_map(|(s, d, sp, dp)| {
+        Header::tcp(Address(s), sp, Address(d), dp)
+    })
+}
+
+fn no_oracle(_: &str, _: &Header) -> bool {
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The learning firewall never forwards a packet whose flow was not
+    /// established and whose (src, dst) is not ACL-allowed.
+    #[test]
+    fn firewall_default_denies(h in arb_header()) {
+        let acl = vec![(
+            "10.0.0.0/8".parse::<Prefix>().unwrap(),
+            "192.168.0.0/16".parse::<Prefix>().unwrap(),
+        )];
+        let fw = models::learning_firewall("fw", acl.clone());
+        let mut st = MboxState::new();
+        let mut ch = SeqChooser::new();
+        let out = process(&fw, &mut st, false, h, &mut no_oracle, &mut ch);
+        let allowed = acl.iter().any(|(sp, dp)| sp.contains(h.src) && dp.contains(h.dst));
+        prop_assert_eq!(out.emitted.is_some(), allowed);
+        // Forwarded packets are unmodified by a firewall.
+        if let Some(e) = out.emitted {
+            prop_assert_eq!(e, h);
+        }
+    }
+
+    /// Once a flow is established, both directions pass forever
+    /// (monotonicity of firewall state).
+    #[test]
+    fn firewall_state_is_monotone(h in arb_header()) {
+        let all: Prefix = "0.0.0.0/0".parse().unwrap();
+        let fw = models::learning_firewall("fw", vec![(all, all)]);
+        let mut st = MboxState::new();
+        let mut ch = SeqChooser::new();
+        let first = process(&fw, &mut st, false, h, &mut no_oracle, &mut ch);
+        prop_assert!(first.emitted.is_some());
+        // Reverse direction now passes via the established rule.
+        let rev = process(&fw, &mut st, false, h.reverse(), &mut no_oracle, &mut ch);
+        prop_assert_eq!(rev.emitted, Some(h.reverse()));
+        prop_assert_eq!(rev.matched_rule, Some(0), "must hit the established rule");
+        // And again (state never shrinks).
+        let again = process(&fw, &mut st, false, h, &mut no_oracle, &mut ch);
+        prop_assert!(again.emitted.is_some());
+    }
+
+    /// NAT round-trip: any outbound packet's reply is restored exactly to
+    /// the original internal endpoint.
+    #[test]
+    fn nat_roundtrip_restores_endpoint(sp in any::<u16>(), dst in any::<u32>(), dp in any::<u16>(), host in any::<u16>()) {
+        let internal: Prefix = "192.168.0.0/16".parse().unwrap();
+        let external = Address(0x0101_0101);
+        let dst = Address(dst);
+        prop_assume!(!internal.contains(dst) && dst != external);
+        let n = models::nat("nat", internal, external);
+        let mut st = MboxState::new();
+        let mut ch = SeqChooser::new();
+        let src = Address(0xC0A8_0000 | host as u32);
+        let out = Header::tcp(src, sp, dst, dp);
+        let sent = process(&n, &mut st, false, out, &mut no_oracle, &mut ch)
+            .emitted.expect("outbound forwarded");
+        prop_assert_eq!(sent.src, external);
+        prop_assert!(sent.src_port >= 32768 || sp >= 32768,
+            "fresh ports come from the ephemeral range");
+        let back = process(&n, &mut st, false, sent.reverse(), &mut no_oracle, &mut ch)
+            .emitted.expect("reply restored");
+        prop_assert_eq!(back.dst, src);
+        prop_assert_eq!(back.dst_port, sp);
+    }
+
+    /// The NAT never exposes internal addresses: any packet it emits
+    /// toward the outside carries the external source.
+    #[test]
+    fn nat_never_leaks_internal_sources(h in arb_header()) {
+        let internal: Prefix = "192.168.0.0/16".parse().unwrap();
+        let external = Address(0x0101_0101);
+        let n = models::nat("nat", internal, external);
+        let mut st = MboxState::new();
+        let mut ch = SeqChooser::new();
+        if let Some(e) = process(&n, &mut st, false, h, &mut no_oracle, &mut ch).emitted {
+            prop_assert!(!internal.contains(e.src), "emitted src {} is internal", e.src);
+        }
+    }
+
+    /// Cache coherence: a cache hit returns exactly the tag and origin of
+    /// some previously observed response for that destination.
+    #[test]
+    fn cache_serves_only_observed_content(reqs in prop::collection::vec((any::<u32>(), any::<u16>()), 1..6), tag in any::<u64>()) {
+        let servers: Prefix = "10.1.0.0/16".parse().unwrap();
+        let cache = models::content_cache("cache", [servers], vec![]);
+        let mut st = MboxState::new();
+        let mut ch = SeqChooser::new();
+        let server = Address(0x0A01_0005);
+        // Warm: one response from the server.
+        let warm_req = Header::tcp(Address(0x0B00_0001), 1000, server, 80);
+        let resp = Header { origin: server, tag, ..warm_req.reverse() };
+        process(&cache, &mut st, false, resp, &mut no_oracle, &mut ch);
+        // Any client asking for that server gets the same content back.
+        for (c, p) in reqs {
+            let client = Address(0x0B00_0000 | (c & 0xFFFF));
+            prop_assume!(!servers.contains(client));
+            let req = Header::tcp(client, p, server, 80);
+            let out = process(&cache, &mut st, false, req, &mut no_oracle, &mut ch)
+                .emitted.expect("hit");
+            prop_assert_eq!(out.origin, server);
+            prop_assert_eq!(out.tag, tag);
+            prop_assert_eq!(out.dst, client);
+        }
+    }
+
+    /// Fail-closed boxes drop everything when failed; fail-open boxes are
+    /// the identity.
+    #[test]
+    fn fail_mode_semantics(h in arb_header()) {
+        let all: Prefix = "0.0.0.0/0".parse().unwrap();
+        let closed = models::learning_firewall("fw", vec![(all, all)]);
+        let open = models::wan_optimizer("wan");
+        let mut st = MboxState::new();
+        let mut ch = SeqChooser::new();
+        prop_assert_eq!(process(&closed, &mut st, true, h, &mut no_oracle, &mut ch).emitted, None);
+        prop_assert_eq!(process(&open, &mut st, true, h, &mut no_oracle, &mut ch).emitted, Some(h));
+    }
+}

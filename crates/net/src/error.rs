@@ -1,0 +1,41 @@
+//! Error types for the network substrate.
+
+use crate::topology::NodeId;
+use std::fmt;
+
+/// Errors raised while computing routes or transfer functions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// The static datapath forwards a packet in a cycle. Per §3.5 of the
+    /// paper, VMN "throws an exception when a static forwarding loop is
+    /// encountered" — loop-freedom is what keeps the network axioms in a
+    /// decidable fragment.
+    ForwardingLoop { nodes: Vec<NodeId> },
+    /// A named node does not exist in the topology.
+    UnknownNode(String),
+    /// A rule or link references a node id outside the topology.
+    BadNodeId(NodeId),
+    /// A terminal (host or middlebox) has no link to the switching fabric.
+    Disconnected(NodeId),
+    /// The operation requires a terminal but was given a switch (or vice
+    /// versa).
+    WrongNodeKind { node: NodeId, expected: &'static str },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::ForwardingLoop { nodes } => {
+                write!(f, "static forwarding loop through nodes {nodes:?}")
+            }
+            NetError::UnknownNode(name) => write!(f, "unknown node {name:?}"),
+            NetError::BadNodeId(id) => write!(f, "node id {id:?} out of range"),
+            NetError::Disconnected(id) => write!(f, "terminal {id:?} has no live link"),
+            NetError::WrongNodeKind { node, expected } => {
+                write!(f, "node {node:?} is not a {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}

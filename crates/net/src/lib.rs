@@ -1,0 +1,39 @@
+//! Network substrate for the VMN verifier.
+//!
+//! The VMN paper assumes two pieces of network machinery that it does not
+//! itself contribute: a way to describe topologies and configurations, and
+//! the transfer-function computation pioneered by VeriFlow/HSA that
+//! summarises the static (switch/router) part of a network as a function
+//! from located packets to located packets. This crate provides both, from
+//! scratch:
+//!
+//! * [`addr`] — IPv4-style addresses, prefixes, ports, protocols;
+//! * [`header`] — concrete packet headers and flow identities;
+//! * [`topology`] — nodes (hosts, switches, middleboxes), links and
+//!   failure scenarios;
+//! * [`fwd`] — longest-prefix-match forwarding tables with
+//!   ingress-qualified rules, priorities and backup entries, plus
+//!   shortest-path route computation;
+//! * [`transfer`] — the per-failure-scenario transfer function: a walk of
+//!   the static datapath from terminal to terminal with loop detection
+//!   (a static forwarding loop is an error, as in §3.5 of the paper), and
+//!   VeriFlow-style header equivalence classes;
+//! * [`pipeline`] — the static *pipeline invariant* checker (which
+//!   middlebox chain a packet class traverses), the job the paper
+//!   delegates to existing static-datapath tools.
+
+pub mod addr;
+pub mod error;
+pub mod fwd;
+pub mod header;
+pub mod pipeline;
+pub mod topology;
+pub mod transfer;
+
+pub use addr::{Address, Prefix, Protocol};
+pub use error::NetError;
+pub use fwd::{ForwardingTables, Rule, RoutingConfig};
+pub use header::{FlowId, Header};
+pub use pipeline::{PipelineDag, PipelineSpec, PipelineViolation, PortClass};
+pub use topology::{FailureScenario, Link, Node, NodeId, NodeKind, Topology};
+pub use transfer::{HeaderClasses, TransferFunction};

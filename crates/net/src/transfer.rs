@@ -1,0 +1,344 @@
+//! Transfer functions: the VeriFlow/HSA-style summary of the static
+//! datapath.
+//!
+//! A transfer function maps a *located packet* — a terminal (host or
+//! middlebox) plus a destination address — to the terminal where the
+//! static datapath delivers it under a given failure scenario. Walking
+//! switch tables hop by hop, it detects static forwarding loops and
+//! reports them as [`NetError::ForwardingLoop`] (§3.5 of the paper: VMN
+//! raises an exception rather than modelling loops, which also keeps the
+//! network axioms decidable).
+//!
+//! [`HeaderClasses`] implements VeriFlow's equivalence-class trick: split
+//! the address space at every prefix boundary appearing in the
+//! configuration so that all addresses within a class are forwarded
+//! identically. Slicing and policy-equivalence computation enumerate
+//! classes instead of addresses.
+
+use crate::addr::{Address, Prefix};
+use crate::error::NetError;
+use crate::fwd::ForwardingTables;
+use crate::topology::{FailureScenario, Link, NodeId, NodeKind, Topology};
+use std::collections::HashSet;
+
+/// The transfer function of a network under one failure scenario.
+///
+/// Borrows the topology and tables; construction is free, so build one per
+/// scenario as needed.
+#[derive(Clone, Copy)]
+pub struct TransferFunction<'a> {
+    pub topo: &'a Topology,
+    pub tables: &'a ForwardingTables,
+    pub scenario: &'a FailureScenario,
+}
+
+impl<'a> TransferFunction<'a> {
+    pub fn new(
+        topo: &'a Topology,
+        tables: &'a ForwardingTables,
+        scenario: &'a FailureScenario,
+    ) -> TransferFunction<'a> {
+        TransferFunction { topo, tables, scenario }
+    }
+
+    /// Delivers a packet emitted by terminal `from` toward `dst`.
+    ///
+    /// Returns the terminal where the packet next surfaces (a host or a
+    /// middlebox), `None` if the static datapath drops it, or an error if
+    /// it loops.
+    pub fn deliver(&self, from: NodeId, dst: Address) -> Result<Option<NodeId>, NetError> {
+        let node = self.topo.node(from);
+        if !node.kind.is_terminal() {
+            return Err(NetError::WrongNodeKind { node: from, expected: "terminal" });
+        }
+        if self.scenario.is_failed(from) {
+            return Ok(None);
+        }
+        // Entry: a directly-linked terminal owning `dst` receives the
+        // packet without any switch involvement.
+        for nb in self.topo.live_neighbors(from, self.scenario) {
+            let n = self.topo.node(nb);
+            if n.kind.is_terminal() && n.addresses.contains(&dst) {
+                return Ok(Some(nb));
+            }
+        }
+        // Otherwise enter the switching fabric. A terminal with several
+        // live switch uplinks uses the first that can forward the packet.
+        let mut entry = None;
+        for nb in self.topo.live_neighbors(from, self.scenario) {
+            if matches!(self.topo.node(nb).kind, NodeKind::Switch) {
+                entry = Some(nb);
+                if self.tables.lookup(self.topo, self.scenario, nb, dst, from).is_some() {
+                    break;
+                }
+            }
+        }
+        let Some(entry) = entry else {
+            return Ok(None);
+        };
+
+        let mut prev = from;
+        let mut cur = entry;
+        let mut visited: HashSet<(NodeId, NodeId)> = HashSet::new();
+        let mut path = vec![from, entry];
+        loop {
+            if !visited.insert((cur, prev)) {
+                return Err(NetError::ForwardingLoop { nodes: path });
+            }
+            let Some(next) = self.tables.lookup(self.topo, self.scenario, cur, dst, prev) else {
+                return Ok(None);
+            };
+            if self.scenario.is_link_failed(Link::new(cur, next)) {
+                return Ok(None);
+            }
+            path.push(next);
+            let n = self.topo.node(next);
+            if n.kind.is_terminal() {
+                return Ok(if self.scenario.is_failed(next) { None } else { Some(next) });
+            }
+            prev = cur;
+            cur = next;
+        }
+    }
+
+    /// Follows the full middlebox pipeline from `src` toward `dst`,
+    /// assuming every middlebox on the way forwards the packet unchanged
+    /// (the static-datapath view used for pipeline invariants and policy
+    /// equivalence classes).
+    ///
+    /// Returns the middleboxes traversed in order and the final host (or
+    /// `None` if the packet is dropped by the static datapath).
+    pub fn terminal_path(
+        &self,
+        src: NodeId,
+        dst: Address,
+    ) -> Result<(Vec<NodeId>, Option<NodeId>), NetError> {
+        let mut mboxes = Vec::new();
+        let mut cur = src;
+        // A packet visiting the same middlebox twice on a static path is a
+        // pipeline-level loop.
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        loop {
+            match self.deliver(cur, dst)? {
+                None => return Ok((mboxes, None)),
+                Some(t) => {
+                    let node = self.topo.node(t);
+                    if node.kind.is_middlebox() {
+                        if !seen.insert(t) {
+                            let mut nodes = mboxes.clone();
+                            nodes.push(t);
+                            return Err(NetError::ForwardingLoop { nodes });
+                        }
+                        mboxes.push(t);
+                        cur = t;
+                    } else {
+                        return Ok((mboxes, Some(t)));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// VeriFlow-style header equivalence classes over destination addresses.
+///
+/// Two addresses in the same class match exactly the same set of
+/// configuration prefixes, hence are treated identically by every switch
+/// (and by prefix-based middlebox ACLs built from the same prefix set).
+#[derive(Clone, Debug)]
+pub struct HeaderClasses {
+    /// Sorted start addresses; class `i` covers `[starts[i], starts[i+1])`.
+    starts: Vec<u32>,
+}
+
+impl HeaderClasses {
+    /// Builds classes from every prefix appearing in the tables plus every
+    /// host address in the topology.
+    pub fn from_network(topo: &Topology, tables: &ForwardingTables) -> HeaderClasses {
+        let mut prefixes = tables.prefixes();
+        prefixes.extend(topo.host_prefixes());
+        Self::from_prefixes(&prefixes)
+    }
+
+    pub fn from_prefixes(prefixes: &[Prefix]) -> HeaderClasses {
+        let mut starts: Vec<u32> = vec![0];
+        for p in prefixes {
+            starts.push(p.first().0);
+            if let Some(next) = p.last().0.checked_add(1) {
+                starts.push(next);
+            }
+        }
+        starts.sort_unstable();
+        starts.dedup();
+        HeaderClasses { starts }
+    }
+
+    pub fn num_classes(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Index of the class containing `a`.
+    pub fn class_of(&self, a: Address) -> usize {
+        match self.starts.binary_search(&a.0) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// A representative address for class `i`.
+    pub fn representative(&self, i: usize) -> Address {
+        Address(self.starts[i])
+    }
+
+    /// Iterates over one representative per class.
+    pub fn representatives(&self) -> impl Iterator<Item = Address> + '_ {
+        self.starts.iter().map(|&s| Address(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fwd::{Rule, RoutingConfig};
+
+    fn addr(s: &str) -> Address {
+        s.parse().unwrap()
+    }
+
+    fn px(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    /// h1 - s1 - fw - s1 (one-armed firewall) and h2 on s2: traffic from
+    /// h1 to h2 is steered through fw.
+    fn fw_pipeline() -> (Topology, ForwardingTables, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let h1 = t.add_host("h1", addr("10.0.1.1"));
+        let h2 = t.add_host("h2", addr("10.0.2.1"));
+        let s1 = t.add_switch("s1");
+        let s2 = t.add_switch("s2");
+        let fw = t.add_middlebox("fw", "stateful-firewall", vec![]);
+        t.add_link(h1, s1);
+        t.add_link(fw, s1);
+        t.add_link(s1, s2);
+        t.add_link(h2, s2);
+
+        let mut rc = RoutingConfig::new();
+        rc.host_routes(&t);
+        let mut ft = rc.build(&t, &FailureScenario::none());
+        // Pipeline: anything from h1 goes to the firewall first.
+        ft.add_rule(s1, Rule::from_neighbor(px("0.0.0.0/0"), h1, fw).with_priority(10));
+        (t, ft, h1, h2, fw)
+    }
+
+    #[test]
+    fn deliver_through_pipeline() {
+        let (t, ft, h1, h2, fw) = fw_pipeline();
+        let none = FailureScenario::none();
+        let tf = TransferFunction::new(&t, &ft, &none);
+        // First hop lands on the firewall.
+        assert_eq!(tf.deliver(h1, addr("10.0.2.1")).unwrap(), Some(fw));
+        // The firewall's re-emission reaches h2.
+        assert_eq!(tf.deliver(fw, addr("10.0.2.1")).unwrap(), Some(h2));
+        // Reverse direction skips the firewall (no pipeline rule).
+        assert_eq!(tf.deliver(h2, addr("10.0.1.1")).unwrap(), Some(h1));
+    }
+
+    #[test]
+    fn terminal_path_collects_middleboxes() {
+        let (t, ft, h1, h2, fw) = fw_pipeline();
+        let none = FailureScenario::none();
+        let tf = TransferFunction::new(&t, &ft, &none);
+        let (mboxes, end) = tf.terminal_path(h1, addr("10.0.2.1")).unwrap();
+        assert_eq!(mboxes, vec![fw]);
+        assert_eq!(end, Some(h2));
+        let (mboxes, end) = tf.terminal_path(h2, addr("10.0.1.1")).unwrap();
+        assert!(mboxes.is_empty());
+        assert_eq!(end, Some(h1));
+    }
+
+    #[test]
+    fn failed_middlebox_drops_traffic() {
+        let (t, ft, h1, _, fw) = fw_pipeline();
+        let failed = FailureScenario::nodes([fw]);
+        let tf = TransferFunction::new(&t, &ft, &failed);
+        // The pipeline rule's next hop is dead and the base rule takes
+        // over, bypassing the firewall — exactly the misconfiguration
+        // class ("Misconfigured Redundant Routing") §5.1 studies.
+        let (mboxes, end) = tf.terminal_path(h1, addr("10.0.2.1")).unwrap();
+        assert!(mboxes.is_empty());
+        assert!(end.is_some());
+    }
+
+    #[test]
+    fn forwarding_loop_detected() {
+        let mut t = Topology::new();
+        let h1 = t.add_host("h1", addr("10.0.0.1"));
+        let s1 = t.add_switch("s1");
+        let s2 = t.add_switch("s2");
+        t.add_link(h1, s1);
+        t.add_link(s1, s2);
+        let mut ft = ForwardingTables::new();
+        // s1 and s2 bounce the packet between each other.
+        ft.add_rule(s1, Rule::new(px("0.0.0.0/0"), s2));
+        ft.add_rule(s2, Rule::new(px("0.0.0.0/0"), s1));
+        let none = FailureScenario::none();
+        let tf = TransferFunction::new(&t, &ft, &none);
+        let err = tf.deliver(h1, addr("10.9.9.9")).unwrap_err();
+        assert!(matches!(err, NetError::ForwardingLoop { .. }));
+    }
+
+    #[test]
+    fn direct_link_delivery_without_switch() {
+        let mut t = Topology::new();
+        let h1 = t.add_host("h1", addr("10.0.0.1"));
+        let h2 = t.add_host("h2", addr("10.0.0.2"));
+        t.add_link(h1, h2);
+        let ft = ForwardingTables::new();
+        let none = FailureScenario::none();
+        let tf = TransferFunction::new(&t, &ft, &none);
+        assert_eq!(tf.deliver(h1, addr("10.0.0.2")).unwrap(), Some(h2));
+        assert_eq!(tf.deliver(h1, addr("10.0.0.9")).unwrap(), None);
+    }
+
+    #[test]
+    fn delivery_to_failed_destination_drops() {
+        let (t, ft, h1, h2, _) = fw_pipeline();
+        let failed = FailureScenario::nodes([h2]);
+        let tf = TransferFunction::new(&t, &ft, &failed);
+        let (_, end) = tf.terminal_path(h1, addr("10.0.2.1")).unwrap();
+        assert_eq!(end, None);
+    }
+
+    #[test]
+    fn header_classes_split_at_prefix_boundaries() {
+        let classes = HeaderClasses::from_prefixes(&[px("10.0.0.0/8"), px("10.1.0.0/16")]);
+        // Expect classes: [0, 10.0.0.0), [10.0.0.0, 10.1.0.0),
+        // [10.1.0.0, 10.2.0.0), [10.2.0.0, 11.0.0.0), [11.0.0.0, max].
+        assert_eq!(classes.num_classes(), 5);
+        let c = |s: &str| classes.class_of(addr(s));
+        assert_eq!(c("10.0.0.1"), c("10.0.255.255"));
+        assert_ne!(c("10.0.0.1"), c("10.1.0.1"));
+        assert_eq!(c("10.1.0.1"), c("10.1.200.7"));
+        assert_ne!(c("10.1.0.1"), c("10.2.0.0"));
+        assert_ne!(c("9.255.255.255"), c("10.0.0.0"));
+    }
+
+    #[test]
+    fn class_representatives_are_members() {
+        let classes = HeaderClasses::from_prefixes(&[px("10.0.0.0/8"), px("192.168.0.0/16")]);
+        for i in 0..classes.num_classes() {
+            let rep = classes.representative(i);
+            assert_eq!(classes.class_of(rep), i);
+        }
+    }
+
+    #[test]
+    fn classes_from_network_include_hosts() {
+        let (t, ft, _, _, _) = fw_pipeline();
+        let classes = HeaderClasses::from_network(&t, &ft);
+        let c1 = classes.class_of(addr("10.0.1.1"));
+        let c2 = classes.class_of(addr("10.0.2.1"));
+        assert_ne!(c1, c2, "distinct hosts land in distinct classes");
+    }
+}

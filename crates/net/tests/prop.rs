@@ -1,0 +1,152 @@
+//! Property-based tests for the network substrate.
+
+use proptest::prelude::*;
+use vmn_net::{
+    Address, FailureScenario, ForwardingTables, HeaderClasses, Prefix, Rule, RoutingConfig,
+    Topology, TransferFunction,
+};
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u32..=32).prop_map(|(addr, len)| Prefix::new(Address(addr), len))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Prefix containment agrees with the range view.
+    #[test]
+    fn prefix_contains_matches_range(p in arb_prefix(), a in any::<u32>()) {
+        let a = Address(a);
+        let in_range = p.first().0 <= a.0 && a.0 <= p.last().0;
+        prop_assert_eq!(p.contains(a), in_range);
+    }
+
+    /// `covers` is exactly range inclusion.
+    #[test]
+    fn covers_matches_range_inclusion(p in arb_prefix(), q in arb_prefix()) {
+        let range_incl = p.first().0 <= q.first().0 && q.last().0 <= p.last().0;
+        prop_assert_eq!(p.covers(q), range_incl);
+    }
+
+    /// complement_within partitions the outer block exactly.
+    #[test]
+    fn complement_partitions(outer_len in 0u32..16, rest in any::<u32>(), extra in 1u32..16, probe in any::<u32>()) {
+        let outer = Prefix::new(Address(rest), outer_len);
+        let inner_len = (outer_len + extra).min(32);
+        let inner = Prefix::new(Address(rest), inner_len);
+        let comp = outer.complement_within(inner);
+        let a = Address(probe);
+        let total = inner.contains(a) as usize
+            + comp.iter().filter(|p| p.contains(a)).count();
+        if outer.contains(a) {
+            prop_assert_eq!(total, 1, "each outer address in exactly one piece");
+        } else {
+            prop_assert_eq!(total, 0, "outside addresses in none");
+        }
+    }
+
+    /// Header classes: all addresses in a class match the same prefixes.
+    #[test]
+    fn header_classes_are_uniform(prefixes in prop::collection::vec(arb_prefix(), 1..8), a in any::<u32>(), b in any::<u32>()) {
+        let classes = HeaderClasses::from_prefixes(&prefixes);
+        let (a, b) = (Address(a), Address(b));
+        if classes.class_of(a) == classes.class_of(b) {
+            for p in &prefixes {
+                prop_assert_eq!(p.contains(a), p.contains(b),
+                    "same class must mean identical prefix membership ({})", p);
+            }
+        }
+    }
+
+    /// Class representatives are members of their own class.
+    #[test]
+    fn representatives_are_canonical(prefixes in prop::collection::vec(arb_prefix(), 1..8)) {
+        let classes = HeaderClasses::from_prefixes(&prefixes);
+        for i in 0..classes.num_classes() {
+            prop_assert_eq!(classes.class_of(classes.representative(i)), i);
+        }
+    }
+}
+
+/// Random tree topologies: shortest-path routing must deliver every
+/// host-to-host packet (no loops, no blackholes), and killing a node must
+/// never create a loop.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_routing_delivers(edges in prop::collection::vec(0usize..8, 1..8), kill in 0usize..8) {
+        // Build a random tree of switches; attach one host to each.
+        let mut topo = Topology::new();
+        let n = edges.len() + 1;
+        let switches: Vec<_> = (0..n).map(|i| topo.add_switch(format!("s{i}"))).collect();
+        for (i, &e) in edges.iter().enumerate() {
+            // Connect switch i+1 to one of the earlier switches: a tree.
+            let parent = switches[e % (i + 1)];
+            topo.add_link(switches[i + 1], parent);
+        }
+        let hosts: Vec<_> = (0..n)
+            .map(|i| {
+                let h = topo.add_host(format!("h{i}"), Address(0x0A00_0000 + i as u32));
+                topo.add_link(h, switches[i]);
+                h
+            })
+            .collect();
+        let mut rc = RoutingConfig::new();
+        rc.host_routes(&topo);
+
+        // Fault-free: every pair must be delivered.
+        let none = FailureScenario::none();
+        let tables = rc.build(&topo, &none);
+        let tf = TransferFunction::new(&topo, &tables, &none);
+        for &src in &hosts {
+            for &dst in &hosts {
+                if src == dst { continue; }
+                let addr = topo.node(dst).addresses[0];
+                let out = tf.deliver(src, addr);
+                prop_assert_eq!(out.unwrap(), Some(dst), "{:?} -> {:?}", src, dst);
+            }
+        }
+
+        // Kill one switch: remaining deliveries either succeed or drop,
+        // but never loop or panic.
+        let dead = switches[kill % n];
+        let failed = FailureScenario::nodes([dead]);
+        let tables2 = rc.build(&topo, &failed);
+        let tf2 = TransferFunction::new(&topo, &tables2, &failed);
+        for &src in &hosts {
+            for &dst in &hosts {
+                if src == dst { continue; }
+                let addr = topo.node(dst).addresses[0];
+                let out = tf2.deliver(src, addr);
+                prop_assert!(out.is_ok(), "loop after failure: {:?}", out);
+            }
+        }
+    }
+
+    /// LPM lookup always returns the most specific live match.
+    #[test]
+    fn lpm_prefers_longer_prefixes(dst in any::<u32>(), lens in prop::collection::vec(0u32..=32, 1..6)) {
+        let mut topo = Topology::new();
+        let sw = topo.add_switch("sw");
+        let src = topo.add_host("src", Address(1));
+        topo.add_link(src, sw);
+        let dst = Address(dst);
+        // One next-hop host per prefix length (all covering dst).
+        let mut tables = ForwardingTables::new();
+        let mut nexts = Vec::new();
+        for (i, &len) in lens.iter().enumerate() {
+            let h = topo.add_host(format!("n{i}"), Address(1000 + i as u32));
+            topo.add_link(h, sw);
+            tables.add_rule(sw, Rule::new(Prefix::new(dst, len), h));
+            nexts.push((len, h));
+        }
+        let best = nexts.iter().max_by_key(|(len, _)| *len).unwrap().1;
+        let none = FailureScenario::none();
+        let got = tables.lookup(&topo, &none, sw, dst, src);
+        // Ties on length may pick either; check the length is maximal.
+        let got_len = nexts.iter().find(|(_, h)| Some(*h) == got).map(|(l, _)| *l);
+        let best_len = nexts.iter().find(|(_, h)| *h == best).map(|(l, _)| *l);
+        prop_assert_eq!(got_len, best_len);
+    }
+}

@@ -1,0 +1,54 @@
+//! Evaluation scenarios: the topologies, configurations, invariants and
+//! misconfiguration injectors behind every figure of the paper's §5.
+//!
+//! | module | paper section | figure(s) |
+//! |---|---|---|
+//! | [`datacenter`] | §5.1 (rules / redundancy / traversal misconfigs) | Figures 1–3 |
+//! | [`data_isolation`] | §5.2 (content caches over the §5.1 fabric) | Figures 4–5 |
+//! | [`enterprise`] | §5.3.1 (university network with firewall) | Figures 6–7 |
+//! | [`multi_tenant`] | §5.3.2 (EC2 security-group datacenter) | Figure 8 |
+//! | [`isp`] | §5.3.3 (ISP with IDS + scrubber) | Figure 9 |
+//!
+//! Each generator is deterministic given its parameters and RNG seed, so
+//! benchmark runs are reproducible.
+
+pub mod data_isolation;
+pub mod datacenter;
+pub mod enterprise;
+pub mod isp;
+pub mod multi_tenant;
+
+use vmn_net::{Address, Prefix};
+
+/// Address of host `h` in policy group `g`, rack/subnet `r`:
+/// `10.<g>.<r>.<h>`.
+pub fn host_addr(group: u8, rack: u8, host: u8) -> Address {
+    Address::from_octets([10, group, rack, host])
+}
+
+/// The /16 prefix containing every host of policy group `g`.
+pub fn group_prefix(group: u8) -> Prefix {
+    Prefix::new(Address::from_octets([10, group, 0, 0]), 16)
+}
+
+/// Addresses for infrastructure boxes (middlebox VIPs etc.): `172.16.x.y`.
+pub fn infra_addr(x: u8, y: u8) -> Address {
+    Address::from_octets([172, 16, x, y])
+}
+
+/// External (internet/peer) addresses: `198.51.<x>.<y>`.
+pub fn external_addr(x: u8, y: u8) -> Address {
+    Address::from_octets([198, 51, x, y])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addressing_scheme_is_group_aligned() {
+        let a = host_addr(3, 1, 7);
+        assert!(group_prefix(3).contains(a));
+        assert!(!group_prefix(4).contains(a));
+    }
+}

@@ -1,0 +1,684 @@
+//! DPLL(T) theory solver for equality and uninterpreted functions (EUF).
+//!
+//! A congruence-closure engine in the style of Nieuwenhuis–Oliveras:
+//! union-find over term nodes, a congruence signature table, use-lists for
+//! incremental congruence detection, and a proof forest for producing
+//! conflict explanations. The engine is *eager*: every asserted equality,
+//! disequality and predicate literal is checked as it arrives, so
+//! `final_check` never fails.
+//!
+//! Boolean predicates are handled uniformly by two built-in nodes `⊤` and
+//! `⊥` with a built-in disequality: asserting `p(a)` merges the node of
+//! `p(a)` with `⊤`, asserting `¬p(a)` merges it with `⊥`. Congruence then
+//! yields the expected propagation, e.g. `p(a), a = b, ¬p(b)` drives `⊤`
+//! and `⊥` together and conflicts.
+//!
+//! All term registration must happen before solving starts; assertions are
+//! undoable through a trail so the SAT solver can backtrack the theory.
+
+use crate::sat::{Lit, Theory, TheoryConflict, Var};
+use crate::term::{FuncId, Term, TermId, TermPool};
+use std::collections::HashMap;
+
+/// Index of a node in the congruence graph.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a SAT variable means to the theory.
+#[derive(Clone, Copy, Debug)]
+enum Atom {
+    /// Equality between two nodes.
+    Eq(NodeId, NodeId),
+    /// A boolean predicate application; true merges with ⊤, false with ⊥.
+    Pred(NodeId),
+}
+
+/// Why two nodes were merged.
+#[derive(Clone, Copy, Debug)]
+enum Reason {
+    /// An asserted equality literal (or predicate literal).
+    Asserted(Lit),
+    /// Congruence of two application nodes with pairwise-equal arguments.
+    Congruence(NodeId, NodeId),
+    /// Built-in fact (used only for internal bookkeeping; never on edges).
+    #[allow(dead_code)]
+    Axiom,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct DisEq {
+    a: NodeId,
+    b: NodeId,
+    /// Literal that asserted the disequality; `None` for the built-in
+    /// `⊤ ≠ ⊥`.
+    lit: Option<Lit>,
+}
+
+enum Undo {
+    Union { child: NodeId },
+    UsesLen { node: NodeId, len: usize },
+    SigInsert { sig: Sig, old: Option<NodeId> },
+    DiseqLen { node: NodeId, len: usize },
+    ProofSet { node: NodeId, old: Option<(NodeId, Reason)> },
+}
+
+type Sig = (FuncId, Vec<NodeId>);
+
+struct NodeData {
+    #[allow(dead_code)]
+    term: Option<TermId>,
+    /// For application nodes, the function and child nodes.
+    app: Option<(FuncId, Vec<NodeId>)>,
+}
+
+/// The congruence-closure theory.
+pub struct Euf {
+    nodes: Vec<NodeData>,
+    term_node: HashMap<TermId, NodeId>,
+    atoms: HashMap<Var, Atom>,
+    parent: Vec<NodeId>,
+    rank: Vec<u32>,
+    uses: Vec<Vec<NodeId>>,
+    diseqs: Vec<Vec<DisEq>>,
+    sig_table: HashMap<Sig, NodeId>,
+    proof: Vec<Option<(NodeId, Reason)>>,
+    trail: Vec<Undo>,
+    /// `marks[i]` = trail length before the i-th SAT assertion.
+    marks: Vec<usize>,
+    sealed: bool,
+    true_node: NodeId,
+    false_node: NodeId,
+}
+
+impl Default for Euf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Euf {
+    pub fn new() -> Euf {
+        let mut euf = Euf {
+            nodes: Vec::new(),
+            term_node: HashMap::new(),
+            atoms: HashMap::new(),
+            parent: Vec::new(),
+            rank: Vec::new(),
+            uses: Vec::new(),
+            diseqs: Vec::new(),
+            sig_table: HashMap::new(),
+            proof: Vec::new(),
+            trail: Vec::new(),
+            marks: Vec::new(),
+            sealed: false,
+            true_node: NodeId(0),
+            false_node: NodeId(0),
+        };
+        euf.true_node = euf.fresh_node(None, None);
+        euf.false_node = euf.fresh_node(None, None);
+        let d = DisEq { a: euf.true_node, b: euf.false_node, lit: None };
+        euf.diseqs[euf.true_node.index()].push(d);
+        euf.diseqs[euf.false_node.index()].push(d);
+        euf
+    }
+
+    fn fresh_node(&mut self, term: Option<TermId>, app: Option<(FuncId, Vec<NodeId>)>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData { term, app });
+        self.parent.push(id);
+        self.rank.push(0);
+        self.uses.push(Vec::new());
+        self.diseqs.push(Vec::new());
+        self.proof.push(None);
+        id
+    }
+
+    /// Registers (recursively) the node for an atom-sorted or predicate
+    /// term. Must be called before solving begins.
+    pub fn node(&mut self, pool: &TermPool, t: TermId) -> NodeId {
+        assert!(!self.sealed, "EUF nodes must be registered before solving");
+        if let Some(&n) = self.term_node.get(&t) {
+            return n;
+        }
+        let n = match pool.term(t).clone() {
+            Term::Var { .. } => self.fresh_node(Some(t), None),
+            Term::Apply { func, args } => {
+                let child_nodes: Vec<NodeId> =
+                    args.iter().map(|&a| self.node(pool, a)).collect();
+                let n = self.fresh_node(Some(t), Some((func, child_nodes.clone())));
+                for &c in &child_nodes {
+                    let rc = self.find(c);
+                    self.uses[rc.index()].push(n);
+                }
+                let sig: Sig = (func, child_nodes.iter().map(|&c| self.find(c)).collect());
+                // Hash-consing of terms guarantees no pre-solve collision.
+                let prev = self.sig_table.insert(sig, n);
+                debug_assert!(prev.is_none(), "duplicate application registered");
+                n
+            }
+            other => panic!("cannot register {other:?} as an EUF node"),
+        };
+        self.term_node.insert(t, n);
+        n
+    }
+
+    /// Declares that SAT variable `v` is the equality `a = b`.
+    pub fn add_eq_atom(&mut self, v: Var, a: NodeId, b: NodeId) {
+        assert!(!self.sealed, "EUF atoms must be registered before solving");
+        self.atoms.insert(v, Atom::Eq(a, b));
+    }
+
+    /// Declares that SAT variable `v` is the boolean application `n`.
+    pub fn add_pred_atom(&mut self, v: Var, n: NodeId) {
+        assert!(!self.sealed, "EUF atoms must be registered before solving");
+        self.atoms.insert(v, Atom::Pred(n));
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn find(&self, mut n: NodeId) -> NodeId {
+        while self.parent[n.index()] != n {
+            n = self.parent[n.index()];
+        }
+        n
+    }
+
+    /// Representative of the class of a registered term, for model
+    /// construction. Distinct representatives are distinct model values.
+    pub fn class_of(&self, t: TermId) -> Option<u32> {
+        self.term_node.get(&t).map(|&n| self.find(n).0)
+    }
+
+    /// Whether the class of `t` is currently merged with ⊤.
+    pub fn is_true_class(&self, t: TermId) -> Option<bool> {
+        let n = *self.term_node.get(&t)?;
+        let r = self.find(n);
+        if r == self.find(self.true_node) {
+            Some(true)
+        } else if r == self.find(self.false_node) {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    // ---- proof forest ---------------------------------------------------
+
+    /// Makes `n` the root of its proof tree by reversing the path.
+    fn proof_reroot(&mut self, n: NodeId) {
+        // Collect path n -> root.
+        let mut path = vec![n];
+        let mut cur = n;
+        while let Some((next, _)) = self.proof[cur.index()] {
+            path.push(next);
+            cur = next;
+        }
+        // Reverse edges along the path.
+        for w in path.windows(2).rev() {
+            let (a, b) = (w[0], w[1]);
+            let edge = self.proof[a.index()].expect("edge exists");
+            self.trail.push(Undo::ProofSet { node: b, old: self.proof[b.index()] });
+            self.proof[b.index()] = Some((a, edge.1));
+        }
+        self.trail.push(Undo::ProofSet { node: n, old: self.proof[n.index()] });
+        self.proof[n.index()] = None;
+    }
+
+    /// Nearest common ancestor of `a` and `b` in the proof forest.
+    fn proof_nca(&self, a: NodeId, b: NodeId) -> NodeId {
+        let mut seen = Vec::new();
+        let mut cur = a;
+        loop {
+            seen.push(cur);
+            match self.proof[cur.index()] {
+                Some((next, _)) => cur = next,
+                None => break,
+            }
+        }
+        let mut cur = b;
+        loop {
+            if seen.contains(&cur) {
+                return cur;
+            }
+            match self.proof[cur.index()] {
+                Some((next, _)) => cur = next,
+                None => panic!("explain: nodes not connected in proof forest"),
+            }
+        }
+    }
+
+    /// Collects the asserted literals explaining why `a` and `b` are equal.
+    fn explain(&self, a: NodeId, b: NodeId, out: &mut Vec<Lit>) {
+        if a == b {
+            return;
+        }
+        let nca = self.proof_nca(a, b);
+        self.explain_to_ancestor(a, nca, out);
+        self.explain_to_ancestor(b, nca, out);
+    }
+
+    fn explain_to_ancestor(&self, mut n: NodeId, ancestor: NodeId, out: &mut Vec<Lit>) {
+        while n != ancestor {
+            let (next, reason) =
+                self.proof[n.index()].expect("path to ancestor exists");
+            match reason {
+                Reason::Asserted(l) => out.push(l),
+                Reason::Congruence(u, v) => {
+                    let (fu, au) = self.nodes[u.index()].app.clone().expect("apply node");
+                    let (fv, av) = self.nodes[v.index()].app.clone().expect("apply node");
+                    debug_assert_eq!(fu, fv);
+                    for (x, y) in au.iter().zip(av.iter()) {
+                        self.explain(*x, *y, out);
+                    }
+                }
+                Reason::Axiom => {}
+            }
+            n = next;
+        }
+    }
+
+    // ---- merging --------------------------------------------------------
+
+    /// Asserts `a = b` for `reason`; returns the conflict literal set on
+    /// inconsistency.
+    fn merge(&mut self, a: NodeId, b: NodeId, reason: Reason) -> Result<(), Vec<Lit>> {
+        let mut pending = vec![(a, b, reason)];
+        while let Some((a, b, reason)) = pending.pop() {
+            let ra = self.find(a);
+            let rb = self.find(b);
+            if ra == rb {
+                continue;
+            }
+            // Orient by rank: merge the lower-rank class into the other.
+            let (child_rep, parent_rep) = if self.rank[ra.index()] <= self.rank[rb.index()] {
+                (ra, rb)
+            } else {
+                (rb, ra)
+            };
+            // Conflict check: any disequality between the two classes?
+            let conflict_diseq = self.diseqs[child_rep.index()].iter().copied().find(|d| {
+                let da = self.find(d.a);
+                let db = self.find(d.b);
+                (da == ra && db == rb) || (da == rb && db == ra)
+            });
+            if let Some(d) = conflict_diseq {
+                let mut lits = Vec::new();
+                if let Some(l) = d.lit {
+                    lits.push(l);
+                }
+                // Explain the merge about to happen: d.a ~ a(=b) ~ d.b.
+                // Record the pending edge first so the explanation sees it.
+                self.proof_reroot(a);
+                self.trail.push(Undo::ProofSet { node: a, old: self.proof[a.index()] });
+                self.proof[a.index()] = Some((b, reason));
+                self.explain(d.a, d.b, &mut lits);
+                lits.sort();
+                lits.dedup();
+                return Err(lits);
+            }
+            // Record the proof edge between the *original* nodes.
+            self.proof_reroot(a);
+            self.trail.push(Undo::ProofSet { node: a, old: self.proof[a.index()] });
+            self.proof[a.index()] = Some((b, reason));
+
+            // Union.
+            self.trail.push(Undo::Union { child: child_rep });
+            self.parent[child_rep.index()] = parent_rep;
+            if self.rank[child_rep.index()] == self.rank[parent_rep.index()] {
+                // Rank only grows; undone implicitly by Union (rank is a
+                // heuristic — leaving it monotone preserves correctness).
+                self.rank[parent_rep.index()] += 1;
+            }
+
+            // Move disequalities of the child class up to the parent.
+            if !self.diseqs[child_rep.index()].is_empty() {
+                self.trail.push(Undo::DiseqLen {
+                    node: parent_rep,
+                    len: self.diseqs[parent_rep.index()].len(),
+                });
+                let moved = self.diseqs[child_rep.index()].clone();
+                self.diseqs[parent_rep.index()].extend(moved);
+            }
+
+            // Congruence: rehash every application that uses the child class.
+            let used = self.uses[child_rep.index()].clone();
+            self.trail.push(Undo::UsesLen {
+                node: parent_rep,
+                len: self.uses[parent_rep.index()].len(),
+            });
+            for u in used {
+                let (f, args) = self.nodes[u.index()].app.clone().expect("use-list holds applies");
+                let sig: Sig = (f, args.iter().map(|&c| self.find(c)).collect());
+                match self.sig_table.get(&sig) {
+                    Some(&v) if self.find(v) != self.find(u) => {
+                        pending.push((u, v, Reason::Congruence(u, v)));
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.trail.push(Undo::SigInsert { sig: sig.clone(), old: None });
+                        self.sig_table.insert(sig, u);
+                    }
+                }
+                self.uses[parent_rep.index()].push(u);
+            }
+        }
+        Ok(())
+    }
+
+    fn assert_diseq(&mut self, a: NodeId, b: NodeId, lit: Lit) -> Result<(), Vec<Lit>> {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            let mut lits = vec![lit];
+            self.explain(a, b, &mut lits);
+            lits.sort();
+            lits.dedup();
+            return Err(lits);
+        }
+        let d = DisEq { a, b, lit: Some(lit) };
+        self.trail.push(Undo::DiseqLen { node: ra, len: self.diseqs[ra.index()].len() });
+        self.diseqs[ra.index()].push(d);
+        self.trail.push(Undo::DiseqLen { node: rb, len: self.diseqs[rb.index()].len() });
+        self.diseqs[rb.index()].push(d);
+        Ok(())
+    }
+
+    fn undo_to(&mut self, len: usize) {
+        while self.trail.len() > len {
+            match self.trail.pop().expect("trail non-empty") {
+                Undo::Union { child } => {
+                    self.parent[child.index()] = child;
+                }
+                Undo::UsesLen { node, len } => {
+                    self.uses[node.index()].truncate(len);
+                }
+                Undo::SigInsert { sig, old } => match old {
+                    Some(n) => {
+                        self.sig_table.insert(sig, n);
+                    }
+                    None => {
+                        self.sig_table.remove(&sig);
+                    }
+                },
+                Undo::DiseqLen { node, len } => {
+                    self.diseqs[node.index()].truncate(len);
+                }
+                Undo::ProofSet { node, old } => {
+                    self.proof[node.index()] = old;
+                }
+            }
+        }
+    }
+}
+
+impl Theory for Euf {
+    fn on_assert(&mut self, lit: Lit) -> Result<(), TheoryConflict> {
+        self.sealed = true;
+        self.marks.push(self.trail.len());
+        let Some(&atom) = self.atoms.get(&lit.var()) else {
+            return Ok(());
+        };
+        let result = match (atom, lit.is_neg()) {
+            (Atom::Eq(a, b), false) => self.merge(a, b, Reason::Asserted(lit)),
+            (Atom::Eq(a, b), true) => self.assert_diseq(a, b, lit),
+            (Atom::Pred(n), false) => {
+                let t = self.true_node;
+                self.merge(n, t, Reason::Asserted(lit))
+            }
+            (Atom::Pred(n), true) => {
+                let f = self.false_node;
+                self.merge(n, f, Reason::Asserted(lit))
+            }
+        };
+        result.map_err(|mut lits| {
+            if !lits.contains(&lit) {
+                lits.push(lit);
+            }
+            debug_assert!(lits.iter().all(|l| {
+                // Every conflict literal must map back to a known atom (or
+                // be the trigger literal itself).
+                self.atoms.contains_key(&l.var()) || *l == lit
+            }));
+            TheoryConflict { lits }
+        })
+    }
+
+    fn on_backtrack(&mut self, new_len: usize) {
+        if new_len < self.marks.len() {
+            let target = self.marks[new_len];
+            self.undo_to(target);
+            self.marks.truncate(new_len);
+        }
+    }
+
+    fn final_check(&mut self) -> Result<(), TheoryConflict> {
+        // Eager checking means the assignment is already theory-consistent.
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::{SatResult, Solver};
+    use crate::sorts::{Sort, SortStore};
+
+    /// Harness wiring a `TermPool`, `Euf` and `Solver` together by hand
+    /// (the real plumbing lives in `crate::solver`; these tests target the
+    /// theory in isolation).
+    struct Harness {
+        pool: TermPool,
+        euf: Euf,
+        solver: Solver,
+        sort: Sort,
+    }
+
+    impl Harness {
+        fn new() -> Harness {
+            let mut sorts = SortStore::new();
+            let sort = sorts.declare("U");
+            Harness { pool: TermPool::new(), euf: Euf::new(), solver: Solver::new(), sort }
+        }
+
+        fn const_(&mut self, name: &str) -> TermId {
+            self.pool.var(name, self.sort)
+        }
+
+        /// Creates the SAT atom for `a = b` and returns its literal.
+        fn eq_lit(&mut self, a: TermId, b: TermId) -> Lit {
+            let na = self.euf.node(&self.pool, a);
+            let nb = self.euf.node(&self.pool, b);
+            let v = self.solver.new_var();
+            self.euf.add_eq_atom(v, na, nb);
+            Lit::pos(v)
+        }
+
+        fn pred_lit(&mut self, f: FuncId, args: &[TermId]) -> Lit {
+            let t = self.pool.apply(f, args);
+            let n = self.euf.node(&self.pool, t);
+            let v = self.solver.new_var();
+            self.euf.add_pred_atom(v, n);
+            Lit::pos(v)
+        }
+
+        fn assert_true(&mut self, l: Lit) {
+            assert!(self.solver.add_clause(&[l]));
+        }
+
+        fn check(&mut self) -> SatResult {
+            self.solver.solve(&mut self.euf)
+        }
+    }
+
+    #[test]
+    fn transitivity_conflict() {
+        // a=b, b=c, a≠c is UNSAT.
+        let mut h = Harness::new();
+        let a = h.const_("a");
+        let b = h.const_("b");
+        let c = h.const_("c");
+        let ab = h.eq_lit(a, b);
+        let bc = h.eq_lit(b, c);
+        let ac = h.eq_lit(a, c);
+        h.assert_true(ab);
+        h.assert_true(bc);
+        h.assert_true(!ac);
+        assert_eq!(h.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn transitivity_sat_without_diseq() {
+        let mut h = Harness::new();
+        let a = h.const_("a");
+        let b = h.const_("b");
+        let c = h.const_("c");
+        let ab = h.eq_lit(a, b);
+        let bc = h.eq_lit(b, c);
+        h.assert_true(ab);
+        h.assert_true(bc);
+        assert_eq!(h.check(), SatResult::Sat);
+        let na = h.euf.class_of(a).unwrap();
+        let nc = h.euf.class_of(c).unwrap();
+        assert_eq!(na, nc, "a and c must share a class in the model");
+    }
+
+    #[test]
+    fn congruence_of_predicates() {
+        // p(a), a=b, ¬p(b) is UNSAT by congruence.
+        let mut h = Harness::new();
+        let a = h.const_("a");
+        let b = h.const_("b");
+        let p = h.pool.declare_fun("p", &[h.sort], Sort::Bool);
+        let pa = h.pred_lit(p, &[a]);
+        let pb = h.pred_lit(p, &[b]);
+        let ab = h.eq_lit(a, b);
+        h.assert_true(pa);
+        h.assert_true(ab);
+        h.assert_true(!pb);
+        assert_eq!(h.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn congruence_of_functions() {
+        // f(a)=x, f(b)=y, a=b, x≠y is UNSAT.
+        let mut h = Harness::new();
+        let a = h.const_("a");
+        let b = h.const_("b");
+        let f = h.pool.declare_fun("f", &[h.sort], h.sort);
+        let fa = h.pool.apply(f, &[a]);
+        let fb = h.pool.apply(f, &[b]);
+        let ab = h.eq_lit(a, b);
+        let fafb = h.eq_lit(fa, fb);
+        h.assert_true(ab);
+        h.assert_true(!fafb);
+        assert_eq!(h.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn nested_congruence() {
+        // a=b ⟹ f(f(a)) = f(f(b)).
+        let mut h = Harness::new();
+        let a = h.const_("a");
+        let b = h.const_("b");
+        let f = h.pool.declare_fun("f", &[h.sort], h.sort);
+        let fa = h.pool.apply(f, &[a]);
+        let fb = h.pool.apply(f, &[b]);
+        let ffa = h.pool.apply(f, &[fa]);
+        let ffb = h.pool.apply(f, &[fb]);
+        let ab = h.eq_lit(a, b);
+        let ff = h.eq_lit(ffa, ffb);
+        h.assert_true(ab);
+        h.assert_true(!ff);
+        assert_eq!(h.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn solver_can_flip_equality_to_satisfy() {
+        // (a=b ∨ a=c), p(a), ¬p(b): solver must pick a=c.
+        let mut h = Harness::new();
+        let a = h.const_("a");
+        let b = h.const_("b");
+        let c = h.const_("c");
+        let p = h.pool.declare_fun("p", &[h.sort], Sort::Bool);
+        let pa = h.pred_lit(p, &[a]);
+        let pb = h.pred_lit(p, &[b]);
+        let ab = h.eq_lit(a, b);
+        let ac = h.eq_lit(a, c);
+        h.solver.add_clause(&[ab, ac]);
+        h.assert_true(pa);
+        h.assert_true(!pb);
+        assert_eq!(h.check(), SatResult::Sat);
+        assert!(h.solver.model_value(ac.var()), "a=c must hold");
+        assert!(!h.solver.model_value(ab.var()), "a=b must not hold");
+    }
+
+    #[test]
+    fn backtracking_across_classes() {
+        // Force the solver to try an inconsistent branch first, then
+        // backtrack the theory state and succeed on the other branch.
+        let mut h = Harness::new();
+        let xs: Vec<TermId> = (0..6).map(|i| h.const_(&format!("x{i}"))).collect();
+        // Chain x0=x1=...=x5 optionally, with x0≠x5 forced.
+        let chain: Vec<Lit> =
+            (0..5).map(|i| h.eq_lit(xs[i], xs[i + 1])).collect();
+        let ends = h.eq_lit(xs[0], xs[5]);
+        h.assert_true(!ends);
+        // At least 4 of the chain links must hold — SAT (break one link).
+        for w in chain.windows(2) {
+            h.solver.add_clause(w); // pairwise ORs keep most links on
+        }
+        assert_eq!(h.check(), SatResult::Sat);
+        // Not all 5 links can hold simultaneously.
+        let all_on = chain.iter().all(|l| h.solver.model_value(l.var()));
+        assert!(!all_on, "the full chain would contradict x0≠x5");
+    }
+
+    #[test]
+    fn diseq_then_eq_conflict_order() {
+        // Assert a≠b before a=b; conflict must still be found.
+        let mut h = Harness::new();
+        let a = h.const_("a");
+        let b = h.const_("b");
+        let ab1 = h.eq_lit(a, b);
+        let ab2 = h.eq_lit(b, a); // distinct atom, same semantics
+        h.assert_true(!ab1);
+        h.assert_true(ab2);
+        assert_eq!(h.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn two_arg_congruence() {
+        // g(a, c) ≠ g(b, c) with a=b is UNSAT.
+        let mut h = Harness::new();
+        let a = h.const_("a");
+        let b = h.const_("b");
+        let c = h.const_("c");
+        let g = h.pool.declare_fun("g", &[h.sort, h.sort], h.sort);
+        let gac = h.pool.apply(g, &[a, c]);
+        let gbc = h.pool.apply(g, &[b, c]);
+        let ab = h.eq_lit(a, b);
+        let gg = h.eq_lit(gac, gbc);
+        h.assert_true(ab);
+        h.assert_true(!gg);
+        assert_eq!(h.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn model_classes_respect_diseq() {
+        let mut h = Harness::new();
+        let a = h.const_("a");
+        let b = h.const_("b");
+        let ab = h.eq_lit(a, b);
+        h.assert_true(!ab);
+        assert_eq!(h.check(), SatResult::Sat);
+        assert_ne!(h.euf.class_of(a), h.euf.class_of(b));
+    }
+}

@@ -1,0 +1,57 @@
+//! A self-contained SMT solver used as the decision procedure for VMN,
+//! the mutable-datapath network verifier.
+//!
+//! The paper this repository reproduces ("Verifying Reachability in
+//! Networks with Mutable Datapaths", NSDI 2017) discharges its verification
+//! conditions with Z3. This crate is the from-scratch substitute: a
+//! [CDCL](sat) SAT core extended DPLL(T)-style with an
+//! [equality-and-uninterpreted-functions](euf) theory solver, plus a
+//! [bit-vector front end](blast) that lowers fixed-width terms to
+//! propositional logic.
+//!
+//! The solver handles the quantifier-free fragment the VMN encoder emits
+//! after bounded-trace grounding (see `vmn-logic`):
+//!
+//! * booleans with the usual connectives,
+//! * fixed-width bit-vectors with equality, extraction and unsigned
+//!   comparison (network addresses, ports, header fields),
+//! * uninterpreted sorts, constants and function/predicate applications
+//!   (packet identities and classification oracles).
+//!
+//! # Example
+//!
+//! ```
+//! use vmn_smt::{Context, SatResult};
+//!
+//! let mut ctx = Context::new();
+//! let pkt = ctx.sorts_mut().declare("Packet");
+//! let p = ctx.fresh_const("p", pkt);
+//! let q = ctx.fresh_const("q", pkt);
+//! let malicious = ctx.declare_fun("malicious?", &[pkt], vmn_smt::Sort::BOOL);
+//!
+//! let mp = ctx.apply(malicious, &[p]);
+//! let mq = ctx.apply(malicious, &[q]);
+//! let same = ctx.eq(p, q);
+//! let not_mq = ctx.not(mq);
+//!
+//! // p = q, malicious?(p), !malicious?(q) is unsatisfiable by congruence.
+//! ctx.assert(same);
+//! ctx.assert(mp);
+//! ctx.assert(not_mq);
+//! assert_eq!(ctx.check(), SatResult::Unsat);
+//! ```
+
+pub mod blast;
+pub mod euf;
+pub mod model;
+pub mod sat;
+pub mod simplify;
+pub mod solver;
+pub mod sorts;
+pub mod term;
+
+pub use model::{Model, Value};
+pub use sat::{Lit, SatResult as CoreSatResult, Var};
+pub use solver::{Context, SatResult};
+pub use sorts::{Sort, SortId, SortStore};
+pub use term::{FuncDecl, FuncId, Term, TermId, TermPool};

@@ -1,0 +1,1038 @@
+//! Conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! This is a MiniSat-lineage solver: two-watched-literal propagation,
+//! first-UIP conflict analysis with recursive clause minimisation, EVSIDS
+//! variable activities with an indexed binary heap, phase saving, Luby
+//! restarts and activity-driven deletion of learnt clauses.
+//!
+//! The solver exposes a small DPLL(T) hook ([`Theory`]): every literal
+//! assignment (decision or propagation) is reported to the theory, which
+//! may veto it with a conflict explanation; backtracking is mirrored into
+//! the theory. The EUF solver in [`crate::euf`] plugs in through this
+//! trait.
+
+use std::fmt;
+
+/// A propositional variable, numbered from zero.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable together with a polarity.
+///
+/// Encoded as `var << 1 | sign` where `sign == 1` means negated, so that
+/// a literal indexes watch lists directly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    #[inline]
+    pub fn new(var: Var, negated: bool) -> Lit {
+        Lit(var.0 << 1 | negated as u32)
+    }
+
+    #[inline]
+    pub fn pos(var: Var) -> Lit {
+        Lit::new(var, false)
+    }
+
+    #[inline]
+    pub fn neg(var: Var) -> Lit {
+        Lit::new(var, true)
+    }
+
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    #[inline]
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Index suitable for watch lists (`2 * var + sign`).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", if self.is_neg() { "!" } else { "" }, self.0 >> 1)
+    }
+}
+
+/// Three-valued assignment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+impl LBool {
+    #[inline]
+    fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+}
+
+/// Result of a satisfiability call on the core.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SatResult {
+    Sat,
+    Unsat,
+}
+
+/// Conflict raised by a theory solver: a set of literals that are all
+/// currently assigned true but jointly inconsistent with the theory.
+#[derive(Clone, Debug)]
+pub struct TheoryConflict {
+    pub lits: Vec<Lit>,
+}
+
+/// DPLL(T) hook. Implementations are notified of every assignment in trail
+/// order and of backtracking; they may reject an assignment by returning a
+/// [`TheoryConflict`] whose literals must all be true under the current
+/// assignment (including the literal just asserted).
+pub trait Theory {
+    /// Called for every literal as it becomes true (decision or propagation).
+    fn on_assert(&mut self, lit: Lit) -> Result<(), TheoryConflict>;
+    /// Called when the trail is truncated to `new_len` entries.
+    fn on_backtrack(&mut self, new_len: usize);
+    /// Called once a full assignment is reached, before the solver reports
+    /// SAT. Check-only theories that validate eagerly can return `Ok(())`.
+    fn final_check(&mut self) -> Result<(), TheoryConflict>;
+}
+
+/// A theory that accepts everything; used for pure SAT solving.
+pub struct NoTheory;
+
+impl Theory for NoTheory {
+    fn on_assert(&mut self, _lit: Lit) -> Result<(), TheoryConflict> {
+        Ok(())
+    }
+    fn on_backtrack(&mut self, _new_len: usize) {}
+    fn final_check(&mut self) -> Result<(), TheoryConflict> {
+        Ok(())
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct ClauseRef(u32);
+
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    /// Activity for learnt-clause garbage collection.
+    activity: f64,
+    deleted: bool,
+}
+
+#[derive(Clone, Copy)]
+struct Watch {
+    cref: ClauseRef,
+    /// A literal of the clause other than the watched one; if it is already
+    /// true the clause is satisfied and we can skip inspecting it.
+    blocker: Lit,
+}
+
+/// Indexed max-heap over variable activities (the VSIDS order).
+struct VarOrder {
+    heap: Vec<Var>,
+    /// position of a variable in `heap`, or `usize::MAX`.
+    index: Vec<usize>,
+}
+
+impl VarOrder {
+    fn new() -> VarOrder {
+        VarOrder { heap: Vec::new(), index: Vec::new() }
+    }
+
+    fn contains(&self, v: Var) -> bool {
+        self.index.get(v.index()).is_some_and(|&i| i != usize::MAX)
+    }
+
+    fn grow(&mut self, n: usize) {
+        if self.index.len() < n {
+            self.index.resize(n, usize::MAX);
+        }
+    }
+
+    fn insert(&mut self, v: Var, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.grow(v.index() + 1);
+        self.index[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn pop(&mut self, act: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.index[top.index()] = usize::MAX;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.index[last.index()] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn bumped(&mut self, v: Var, act: &[f64]) {
+        if let Some(&i) = self.index.get(v.index()) {
+            if i != usize::MAX {
+                self.sift_up(i, act);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i].index()] <= act[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l].index()] > act[self.heap[best].index()] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r].index()] > act[self.heap[best].index()] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.index[self.heap[a].index()] = a;
+        self.index[self.heap[b].index()] = b;
+    }
+}
+
+/// Luby restart sequence: 1 1 2 1 1 2 4 ...
+fn luby(i: u64) -> u64 {
+    let mut size: u64 = 1;
+    let mut seq: u32 = 0;
+    while size < i + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    let mut i = i;
+    let mut size = size;
+    let mut seq = seq;
+    while size - 1 != i {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        i %= size;
+    }
+    1u64 << seq
+}
+
+/// Statistics reported by [`Solver::stats`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverStats {
+    pub decisions: u64,
+    pub propagations: u64,
+    pub conflicts: u64,
+    pub restarts: u64,
+    pub learnt_clauses: u64,
+    pub deleted_clauses: u64,
+}
+
+const VAR_DECAY: f64 = 0.95;
+const CLAUSE_DECAY: f64 = 0.999;
+const RESCALE_LIMIT: f64 = 1e100;
+
+/// The CDCL solver.
+///
+/// Clauses are added with [`Solver::add_clause`]; variables are created
+/// lazily or explicitly with [`Solver::new_var`]. [`Solver::solve`] runs the
+/// search with an optional theory plugged in.
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watch>>,
+    assigns: Vec<LBool>,
+    /// Saved phase per variable.
+    polarity: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    clause_inc: f64,
+    order: VarOrder,
+    /// Scratch: seen markers for conflict analysis.
+    seen: Vec<bool>,
+    /// False once an unconditional contradiction has been derived.
+    ok: bool,
+    stats: SolverStats,
+    learnt_refs: Vec<ClauseRef>,
+    max_learnts: f64,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            polarity: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            clause_inc: 1.0,
+            order: VarOrder::new(),
+            seen: Vec::new(),
+            ok: true,
+            stats: SolverStats::default(),
+            learnt_refs: Vec::new(),
+            max_learnts: 4000.0,
+        }
+    }
+
+    /// Allocates and returns a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.polarity.push(false);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    #[inline]
+    pub fn value(&self, lit: Lit) -> LBool {
+        match self.assigns[lit.var().index()] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => LBool::from_bool(!lit.is_neg()),
+            LBool::False => LBool::from_bool(lit.is_neg()),
+        }
+    }
+
+    /// Value of a variable in the most recent model. Meaningful only after
+    /// [`Solver::solve`] returned [`SatResult::Sat`].
+    pub fn model_value(&self, v: Var) -> bool {
+        matches!(self.assigns[v.index()], LBool::True)
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Adds a clause. Returns `false` if the clause made the instance
+    /// trivially unsatisfiable. Must be called at decision level zero.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok {
+            return false;
+        }
+        // Normalise: drop duplicate and false literals, detect tautologies.
+        let mut cl: Vec<Lit> = Vec::with_capacity(lits.len());
+        let mut sorted = lits.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        for &l in &sorted {
+            debug_assert!(l.var().index() < self.num_vars(), "literal references unknown var");
+            if sorted.binary_search(&!l).is_ok() {
+                return true; // tautology: contains l and !l
+            }
+            match self.value(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => {}          // drop falsified literal
+                LBool::Undef => cl.push(l),
+            }
+        }
+        match cl.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(cl[0], None);
+                // Theory literals are re-announced during solve(); unit
+                // propagation here keeps level-0 implications tight.
+                if self.propagate_no_theory().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(cl, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = ClauseRef(self.clauses.len() as u32);
+        self.watches[(!lits[0]).index()].push(Watch { cref, blocker: lits[1] });
+        self.watches[(!lits[1]).index()].push(Watch { cref, blocker: lits[0] });
+        self.clauses.push(Clause { lits, learnt, activity: 0.0, deleted: false });
+        if learnt {
+            self.learnt_refs.push(cref);
+            self.stats.learnt_clauses += 1;
+        }
+        cref
+    }
+
+    #[inline]
+    fn unchecked_enqueue(&mut self, lit: Lit, reason: Option<ClauseRef>) {
+        debug_assert_eq!(self.value(lit), LBool::Undef);
+        let v = lit.var();
+        self.assigns[v.index()] = LBool::from_bool(!lit.is_neg());
+        self.level[v.index()] = self.decision_level();
+        self.reason[v.index()] = reason;
+        self.trail.push(lit);
+    }
+
+    /// Unit propagation without theory notification (used while loading).
+    fn propagate_no_theory(&mut self) -> Option<ClauseRef> {
+        let mut confl = None;
+        while self.qhead < self.trail.len() {
+            let lit = self.trail[self.qhead];
+            self.qhead += 1;
+            if let Some(c) = self.propagate_lit(lit) {
+                confl = Some(c);
+                self.qhead = self.trail.len();
+            }
+        }
+        confl
+    }
+
+    /// Propagates the consequences of `lit` being true through the watch
+    /// lists. Returns a conflicting clause if one is found.
+    fn propagate_lit(&mut self, lit: Lit) -> Option<ClauseRef> {
+        self.stats.propagations += 1;
+        let mut watches = std::mem::take(&mut self.watches[lit.index()]);
+        let mut i = 0;
+        let mut conflict = None;
+        'watches: while i < watches.len() {
+            let w = watches[i];
+            if self.value(w.blocker) == LBool::True {
+                i += 1;
+                continue;
+            }
+            let cref = w.cref;
+            if self.clauses[cref.0 as usize].deleted {
+                watches.swap_remove(i);
+                continue;
+            }
+            // Make sure the false literal is at position 1.
+            {
+                let cl = &mut self.clauses[cref.0 as usize];
+                let false_lit = !lit;
+                if cl.lits[0] == false_lit {
+                    cl.lits.swap(0, 1);
+                }
+                debug_assert_eq!(cl.lits[1], false_lit);
+            }
+            let first = self.clauses[cref.0 as usize].lits[0];
+            if first != w.blocker && self.value(first) == LBool::True {
+                watches[i] = Watch { cref, blocker: first };
+                i += 1;
+                continue;
+            }
+            // Look for a new literal to watch.
+            let len = self.clauses[cref.0 as usize].lits.len();
+            for k in 2..len {
+                let lk = self.clauses[cref.0 as usize].lits[k];
+                if self.value(lk) != LBool::False {
+                    self.clauses[cref.0 as usize].lits.swap(1, k);
+                    self.watches[(!lk).index()].push(Watch { cref, blocker: first });
+                    watches.swap_remove(i);
+                    continue 'watches;
+                }
+            }
+            // Clause is unit or conflicting.
+            watches[i] = Watch { cref, blocker: first };
+            i += 1;
+            if self.value(first) == LBool::False {
+                conflict = Some(cref);
+                break;
+            }
+            self.unchecked_enqueue(first, Some(cref));
+        }
+        // Put back remaining watches (including any not yet visited after a
+        // conflict).
+        let slot = &mut self.watches[lit.index()];
+        if slot.is_empty() {
+            *slot = watches;
+        } else {
+            slot.extend_from_slice(&watches);
+        }
+        conflict
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.bumped(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let cl = &mut self.clauses[cref.0 as usize];
+        if !cl.learnt {
+            return;
+        }
+        cl.activity += self.clause_inc;
+        if cl.activity > RESCALE_LIMIT {
+            for &r in &self.learnt_refs {
+                self.clauses[r.0 as usize].activity *= 1e-100;
+            }
+            self.clause_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis. `conflict` is the set of literals of the
+    /// conflicting clause (all false under the current assignment). Returns
+    /// the learnt clause (asserting literal first) and the backjump level.
+    fn analyze(&mut self, conflict: &[Lit]) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::pos(Var(0))]; // placeholder slot 0
+        let mut counter = 0usize;
+        let p: Option<Lit>;
+        let mut trail_idx = self.trail.len();
+        let mut reason_lits: Vec<Lit> = conflict.to_vec();
+
+        loop {
+            for &q in &reason_lits {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next literal from the trail to resolve on.
+            loop {
+                trail_idx -= 1;
+                if self.seen[self.trail[trail_idx].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[trail_idx];
+            let v = lit.var();
+            self.seen[v.index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                p = Some(lit);
+                break;
+            }
+            let cref = self.reason[v.index()].expect("non-decision must have a reason");
+            self.bump_clause(cref);
+            let cl = &self.clauses[cref.0 as usize];
+            // Skip the asserting literal itself (position 0 by invariant).
+            reason_lits.clear();
+            reason_lits.extend(cl.lits.iter().copied().filter(|&l| l.var() != v));
+        }
+        learnt[0] = !p.expect("found UIP");
+
+        // Conflict-clause minimisation: drop literals implied by the rest.
+        let keep: Vec<bool> = learnt
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| i == 0 || !self.redundant(l))
+            .collect();
+        let mut out: Vec<Lit> = learnt
+            .iter()
+            .zip(&keep)
+            .filter_map(|(&l, &k)| if k { Some(l) } else { None })
+            .collect();
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+
+        // Find backjump level: second-highest level in the clause.
+        let bt = if out.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..out.len() {
+                if self.level[out[i].var().index()] > self.level[out[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            out.swap(1, max_i);
+            self.level[out[1].var().index()]
+        };
+        (out, bt)
+    }
+
+    /// A literal is redundant in the learnt clause if its reason literals
+    /// are all already in the clause (single-step self-subsumption).
+    fn redundant(&self, l: Lit) -> bool {
+        let v = l.var();
+        match self.reason[v.index()] {
+            None => false,
+            Some(cref) => self.clauses[cref.0 as usize]
+                .lits
+                .iter()
+                .all(|&q| q.var() == v || self.seen[q.var().index()] || self.level[q.var().index()] == 0),
+        }
+    }
+
+    fn cancel_until(&mut self, level: u32, theory: &mut dyn Theory) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let target = self.trail_lim[level as usize];
+        for i in (target..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let v = lit.var();
+            self.assigns[v.index()] = LBool::Undef;
+            self.polarity[v.index()] = !lit.is_neg();
+            self.reason[v.index()] = None;
+            self.order.insert(v, &self.activity);
+        }
+        self.trail.truncate(target);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = target;
+        theory.on_backtrack(target);
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.order.pop(&self.activity) {
+            if self.assigns[v.index()] == LBool::Undef {
+                return Some(Lit::new(v, !self.polarity[v.index()]));
+            }
+        }
+        None
+    }
+
+    fn reduce_db(&mut self) {
+        let mut refs = std::mem::take(&mut self.learnt_refs);
+        refs.retain(|r| !self.clauses[r.0 as usize].deleted);
+        refs.sort_by(|a, b| {
+            let ca = self.clauses[a.0 as usize].activity;
+            let cb = self.clauses[b.0 as usize].activity;
+            ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let locked: Vec<bool> = refs
+            .iter()
+            .map(|r| {
+                let cl = &self.clauses[r.0 as usize];
+                // Clause is a reason for its first literal.
+                self.value(cl.lits[0]) == LBool::True
+                    && self.reason[cl.lits[0].var().index()] == Some(*r)
+            })
+            .collect();
+        let limit = refs.len() / 2;
+        for (i, r) in refs.iter().enumerate() {
+            let short = self.clauses[r.0 as usize].lits.len() <= 2;
+            if i < limit && !locked[i] && !short {
+                self.clauses[r.0 as usize].deleted = true;
+                self.stats.deleted_clauses += 1;
+            }
+        }
+        refs.retain(|r| !self.clauses[r.0 as usize].deleted);
+        self.learnt_refs = refs;
+    }
+
+    /// Announces to the theory every trail literal from `from` onwards.
+    /// Returns a conflict if the theory rejects one of them.
+    fn theory_sync(&mut self, from: &mut usize, theory: &mut dyn Theory) -> Option<TheoryConflict> {
+        while *from < self.trail.len() {
+            let lit = self.trail[*from];
+            *from += 1;
+            if let Err(c) = theory.on_assert(lit) {
+                debug_assert!(
+                    c.lits.iter().all(|&l| self.value(l) == LBool::True),
+                    "theory conflict literals must be true: {:?}",
+                    c.lits
+                );
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// Runs the CDCL search (with restarts) until the instance is decided.
+    pub fn solve(&mut self, theory: &mut dyn Theory) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        let mut theory_head = 0usize;
+        let mut restarts: u64 = 0;
+        let mut conflicts_until_restart = 100 * luby(restarts);
+
+        loop {
+            // Propagate, keeping the theory in sync with the trail.
+            let conflict: Option<Vec<Lit>> = 'prop: loop {
+                if let Some(cref) = self.propagate_no_theory() {
+                    let lits = self.clauses[cref.0 as usize].lits.clone();
+                    self.bump_clause(cref);
+                    break 'prop Some(lits);
+                }
+                match self.theory_sync(&mut theory_head, theory) {
+                    Some(c) => {
+                        break 'prop Some(c.lits.iter().map(|&l| !l).collect());
+                    }
+                    None => {
+                        if self.qhead == self.trail.len() {
+                            break 'prop None;
+                        }
+                    }
+                }
+            };
+
+            match conflict {
+                Some(cl) => {
+                    self.stats.conflicts += 1;
+                    if self.decision_level() == 0 {
+                        self.ok = false;
+                        return SatResult::Unsat;
+                    }
+                    let (learnt, bt_level) = self.analyze(&cl);
+                    self.cancel_until(bt_level, theory);
+                    theory_head = theory_head.min(self.trail.len());
+                    if learnt.len() == 1 {
+                        self.unchecked_enqueue(learnt[0], None);
+                    } else {
+                        let cref = self.attach_clause(learnt.clone(), true);
+                        self.bump_clause(cref);
+                        self.unchecked_enqueue(learnt[0], Some(cref));
+                    }
+                    self.var_inc /= VAR_DECAY;
+                    self.clause_inc /= CLAUSE_DECAY;
+                    if self.stats.conflicts % 1000 == 0 {
+                        self.max_learnts *= 1.1;
+                    }
+                    conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
+                }
+                None => {
+                    if conflicts_until_restart == 0 && self.decision_level() > 0 {
+                        restarts += 1;
+                        self.stats.restarts += 1;
+                        conflicts_until_restart = 100 * luby(restarts);
+                        self.cancel_until(0, theory);
+                        theory_head = theory_head.min(self.trail.len());
+                        continue;
+                    }
+                    if self.learnt_refs.len() as f64 > self.max_learnts {
+                        self.reduce_db();
+                    }
+                    match self.pick_branch() {
+                        None => {
+                            // Full assignment; give the theory a last word.
+                            match theory.final_check() {
+                                Ok(()) => return SatResult::Sat,
+                                Err(c) => {
+                                    self.stats.conflicts += 1;
+                                    if self.decision_level() == 0 {
+                                        self.ok = false;
+                                        return SatResult::Unsat;
+                                    }
+                                    let cl: Vec<Lit> = c.lits.iter().map(|&l| !l).collect();
+                                    let (learnt, bt_level) = self.analyze(&cl);
+                                    self.cancel_until(bt_level, theory);
+                                    theory_head = theory_head.min(self.trail.len());
+                                    if learnt.len() == 1 {
+                                        self.unchecked_enqueue(learnt[0], None);
+                                    } else {
+                                        let cref = self.attach_clause(learnt.clone(), true);
+                                        self.unchecked_enqueue(learnt[0], Some(cref));
+                                    }
+                                }
+                            }
+                        }
+                        Some(lit) => {
+                            self.stats.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(lit, None);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Convenience: solve without a theory.
+    pub fn solve_pure(&mut self) -> SatResult {
+        self.solve(&mut NoTheory)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(solver_vars: &[Var], spec: &[i32]) -> Vec<Lit> {
+        spec.iter()
+            .map(|&i| {
+                let v = solver_vars[(i.unsigned_abs() - 1) as usize];
+                Lit::new(v, i < 0)
+            })
+            .collect()
+    }
+
+    fn n_vars(s: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| s.new_var()).collect()
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        let vs = n_vars(&mut s, 2);
+        s.add_clause(&lits(&vs, &[1, 2]));
+        assert_eq!(s.solve_pure(), SatResult::Sat);
+        assert!(s.model_value(vs[0]) || s.model_value(vs[1]));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        let vs = n_vars(&mut s, 1);
+        s.add_clause(&lits(&vs, &[1]));
+        s.add_clause(&lits(&vs, &[-1]));
+        assert_eq!(s.solve_pure(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut s = Solver::new();
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve_pure(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn unit_chain() {
+        let mut s = Solver::new();
+        let vs = n_vars(&mut s, 4);
+        s.add_clause(&lits(&vs, &[1]));
+        s.add_clause(&lits(&vs, &[-1, 2]));
+        s.add_clause(&lits(&vs, &[-2, 3]));
+        s.add_clause(&lits(&vs, &[-3, 4]));
+        assert_eq!(s.solve_pure(), SatResult::Sat);
+        for v in vs {
+            assert!(s.model_value(v));
+        }
+    }
+
+    #[test]
+    fn tautology_ignored() {
+        let mut s = Solver::new();
+        let vs = n_vars(&mut s, 1);
+        assert!(s.add_clause(&lits(&vs, &[1, -1])));
+        assert_eq!(s.solve_pure(), SatResult::Sat);
+    }
+
+    /// Pigeonhole principle: n+1 pigeons into n holes is UNSAT and requires
+    /// genuine conflict-driven search.
+    fn pigeonhole(n: usize) -> Solver {
+        let mut s = Solver::new();
+        let pigeons = n + 1;
+        let vars: Vec<Vec<Var>> =
+            (0..pigeons).map(|_| (0..n).map(|_| s.new_var()).collect()).collect();
+        for p in 0..pigeons {
+            let cl: Vec<Lit> = (0..n).map(|h| Lit::pos(vars[p][h])).collect();
+            s.add_clause(&cl);
+        }
+        for h in 0..n {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    s.add_clause(&[Lit::neg(vars[p1][h]), Lit::neg(vars[p2][h])]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        for n in 2..=6 {
+            let mut s = pigeonhole(n);
+            assert_eq!(s.solve_pure(), SatResult::Unsat, "php({n})");
+        }
+    }
+
+    #[test]
+    fn graph_coloring_sat() {
+        // 3-colour a 5-cycle (possible).
+        let mut s = Solver::new();
+        let k = 3;
+        let n = 5;
+        let v: Vec<Vec<Var>> = (0..n).map(|_| (0..k).map(|_| s.new_var()).collect()).collect();
+        for i in 0..n {
+            let cl: Vec<Lit> = (0..k).map(|c| Lit::pos(v[i][c])).collect();
+            s.add_clause(&cl);
+            for c1 in 0..k {
+                for c2 in (c1 + 1)..k {
+                    s.add_clause(&[Lit::neg(v[i][c1]), Lit::neg(v[i][c2])]);
+                }
+            }
+        }
+        for i in 0..n {
+            let j = (i + 1) % n;
+            for c in 0..k {
+                s.add_clause(&[Lit::neg(v[i][c]), Lit::neg(v[j][c])]);
+            }
+        }
+        assert_eq!(s.solve_pure(), SatResult::Sat);
+        // Verify: each node exactly one colour, endpoints differ.
+        let colour = |i: usize, s: &Solver| (0..k).find(|&c| s.model_value(v[i][c])).unwrap();
+        for i in 0..n {
+            assert_ne!(colour(i, &s), colour((i + 1) % n, &s));
+        }
+    }
+
+    #[test]
+    fn two_coloring_odd_cycle_unsat() {
+        let mut s = Solver::new();
+        let n = 7;
+        // var true = colour A, false = colour B; adjacent must differ.
+        let v = n_vars(&mut s, n);
+        for i in 0..n {
+            let j = (i + 1) % n;
+            s.add_clause(&[Lit::pos(v[i]), Lit::pos(v[j])]);
+            s.add_clause(&[Lit::neg(v[i]), Lit::neg(v[j])]);
+        }
+        assert_eq!(s.solve_pure(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    /// Brute-force model check for random 3-CNF instances: compare solver
+    /// answer against exhaustive enumeration.
+    #[test]
+    fn random_3cnf_vs_bruteforce() {
+        // Simple deterministic LCG so the test is reproducible without rand.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for round in 0..60 {
+            let nv = 4 + (next() % 6) as usize; // 4..=9 vars
+            let nc = 6 + (next() % 30) as usize;
+            let clauses: Vec<Vec<i32>> = (0..nc)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| {
+                            let var = (next() % nv as u32) as i32 + 1;
+                            if next() % 2 == 0 {
+                                var
+                            } else {
+                                -var
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let brute = (0..(1u32 << nv)).any(|m| {
+                clauses.iter().all(|cl| {
+                    cl.iter().any(|&l| {
+                        let bit = (m >> (l.unsigned_abs() - 1)) & 1 == 1;
+                        if l > 0 {
+                            bit
+                        } else {
+                            !bit
+                        }
+                    })
+                })
+            });
+            let mut s = Solver::new();
+            let vs = n_vars(&mut s, nv);
+            for cl in &clauses {
+                s.add_clause(&lits(&vs, cl));
+            }
+            let got = s.solve_pure() == SatResult::Sat;
+            assert_eq!(got, brute, "round {round}: clauses {clauses:?}");
+            if got {
+                // Check the model actually satisfies all clauses.
+                for cl in &clauses {
+                    assert!(cl.iter().any(|&l| {
+                        let val = s.model_value(vs[(l.unsigned_abs() - 1) as usize]);
+                        if l > 0 {
+                            val
+                        } else {
+                            !val
+                        }
+                    }));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Pre-solving term rewrites.
+//!
+//! The [`TermPool`](crate::term::TermPool) constructors already perform
+//! local simplification (constant folding, flattening, complementary-pair
+//! detection). This module adds the rewrites that need a global view:
+//!
+//! * **Atom-sorted if-then-else lowering** — the bit-blaster cannot mux
+//!   uninterpreted values, so `ite(c, a, b) : Atom` is replaced by a fresh
+//!   constant `x` with side conditions `c → x = a` and `¬c → x = b`.
+
+use crate::term::{Term, TermId, TermPool};
+use std::collections::HashMap;
+
+/// Rewrites away if-then-else over atom sorts.
+///
+/// Returns the rewritten term plus the side constraints that must be
+/// asserted alongside it.
+pub fn lower_atom_ites(pool: &mut TermPool, t: TermId) -> (TermId, Vec<TermId>) {
+    let mut lowerer = Lowerer { cache: HashMap::new(), side: Vec::new() };
+    let out = lowerer.go(pool, t);
+    (out, lowerer.side)
+}
+
+struct Lowerer {
+    cache: HashMap<TermId, TermId>,
+    side: Vec<TermId>,
+}
+
+impl Lowerer {
+    fn go(&mut self, pool: &mut TermPool, t: TermId) -> TermId {
+        if let Some(&r) = self.cache.get(&t) {
+            return r;
+        }
+        let out = match pool.term(t).clone() {
+            Term::Bool(_) | Term::BvConst { .. } | Term::Var { .. } => t,
+            Term::Not(a) => {
+                let a2 = self.go(pool, a);
+                pool.not(a2)
+            }
+            Term::And(xs) => {
+                let xs2: Vec<TermId> = xs.iter().map(|&x| self.go(pool, x)).collect();
+                pool.and(&xs2)
+            }
+            Term::Or(xs) => {
+                let xs2: Vec<TermId> = xs.iter().map(|&x| self.go(pool, x)).collect();
+                pool.or(&xs2)
+            }
+            Term::Iff(a, b) => {
+                let a2 = self.go(pool, a);
+                let b2 = self.go(pool, b);
+                pool.iff(a2, b2)
+            }
+            Term::Implies(a, b) => {
+                let a2 = self.go(pool, a);
+                let b2 = self.go(pool, b);
+                pool.implies(a2, b2)
+            }
+            Term::Eq(a, b) => {
+                let a2 = self.go(pool, a);
+                let b2 = self.go(pool, b);
+                pool.eq(a2, b2)
+            }
+            Term::BvUle(a, b) => {
+                let a2 = self.go(pool, a);
+                let b2 = self.go(pool, b);
+                pool.bv_ule(a2, b2)
+            }
+            Term::BvExtract { arg, hi, lo } => {
+                let a2 = self.go(pool, arg);
+                pool.bv_extract(a2, hi, lo)
+            }
+            Term::Apply { func, args } => {
+                let args2: Vec<TermId> = args.iter().map(|&a| self.go(pool, a)).collect();
+                pool.apply(func, &args2)
+            }
+            Term::Ite { cond, then, els } => {
+                let c = self.go(pool, cond);
+                let a = self.go(pool, then);
+                let b = self.go(pool, els);
+                if pool.sort(a).is_atom() {
+                    let x = pool.var("ite!", pool.sort(a));
+                    let eq_a = pool.eq(x, a);
+                    let eq_b = pool.eq(x, b);
+                    let nc = pool.not(c);
+                    let s1 = pool.implies(c, eq_a);
+                    let s2 = pool.implies(nc, eq_b);
+                    self.side.push(s1);
+                    self.side.push(s2);
+                    x
+                } else {
+                    pool.ite(c, a, b)
+                }
+            }
+        };
+        self.cache.insert(t, out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sorts::{Sort, SortStore};
+
+    #[test]
+    fn atom_ite_is_lowered() {
+        let mut pool = TermPool::new();
+        let mut sorts = SortStore::new();
+        let u = sorts.declare("U");
+        let c = pool.var("c", Sort::Bool);
+        let a = pool.var("a", u);
+        let b = pool.var("b", u);
+        let ite = pool.ite(c, a, b);
+        let x = pool.var("x", u);
+        let eq = pool.eq(ite, x);
+        let (out, side) = lower_atom_ites(&mut pool, eq);
+        assert_ne!(out, eq, "term must be rewritten");
+        assert_eq!(side.len(), 2, "two side constraints");
+        // No Ite remains anywhere in the rewritten terms.
+        fn has_ite(pool: &TermPool, t: TermId) -> bool {
+            match pool.term(t) {
+                Term::Ite { cond, then, els } => {
+                    pool.sort(*then).is_atom()
+                        || has_ite(pool, *cond)
+                        || has_ite(pool, *then)
+                        || has_ite(pool, *els)
+                }
+                Term::Not(a) => has_ite(pool, *a),
+                Term::And(xs) | Term::Or(xs) => xs.iter().any(|&x| has_ite(pool, x)),
+                Term::Iff(a, b) | Term::Implies(a, b) | Term::Eq(a, b) | Term::BvUle(a, b) => {
+                    has_ite(pool, *a) || has_ite(pool, *b)
+                }
+                Term::BvExtract { arg, .. } => has_ite(pool, *arg),
+                Term::Apply { args, .. } => args.iter().any(|&x| has_ite(pool, x)),
+                _ => false,
+            }
+        }
+        assert!(!has_ite(&pool, out));
+        for s in side {
+            assert!(!has_ite(&pool, s));
+        }
+    }
+
+    #[test]
+    fn bv_ite_untouched() {
+        let mut pool = TermPool::new();
+        let c = pool.var("c", Sort::Bool);
+        let a = pool.var("a", Sort::bitvec(8));
+        let b = pool.var("b", Sort::bitvec(8));
+        let ite = pool.ite(c, a, b);
+        let (out, side) = lower_atom_ites(&mut pool, ite);
+        assert_eq!(out, ite);
+        assert!(side.is_empty());
+    }
+}

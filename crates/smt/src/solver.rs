@@ -1,0 +1,351 @@
+//! The user-facing solver context.
+//!
+//! [`Context`] owns a [`TermPool`] and a list of assertions; [`Context::check`]
+//! lowers everything to CNF (+ theory atoms), runs the CDCL(T) search and, on
+//! SAT, stores a [`Model`] that can be queried for any term.
+
+use crate::blast::Blaster;
+use crate::euf::Euf;
+use crate::model::{Model, Value};
+use crate::sat::{SatResult as CoreResult, Solver, SolverStats};
+use crate::simplify::lower_atom_ites;
+use crate::sorts::{Sort, SortStore};
+use crate::term::{FuncId, TermId, TermPool};
+use std::collections::HashMap;
+
+/// Outcome of a [`Context::check`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SatResult {
+    /// A satisfying assignment exists; retrieve it with [`Context::model`].
+    Sat,
+    /// No satisfying assignment exists.
+    Unsat,
+}
+
+/// An SMT solving context: terms, assertions and check/model state.
+pub struct Context {
+    pool: TermPool,
+    sorts: SortStore,
+    assertions: Vec<TermId>,
+    model: Option<Model>,
+    stats: SolverStats,
+}
+
+impl Default for Context {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Context {
+    pub fn new() -> Context {
+        Context {
+            pool: TermPool::new(),
+            sorts: SortStore::new(),
+            assertions: Vec::new(),
+            model: None,
+            stats: SolverStats::default(),
+        }
+    }
+
+    pub fn pool(&self) -> &TermPool {
+        &self.pool
+    }
+
+    pub fn pool_mut(&mut self) -> &mut TermPool {
+        &mut self.pool
+    }
+
+    pub fn sorts(&self) -> &SortStore {
+        &self.sorts
+    }
+
+    pub fn sorts_mut(&mut self) -> &mut SortStore {
+        &mut self.sorts
+    }
+
+    /// Statistics from the most recent [`Context::check`].
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    // ---- term construction conveniences (delegate to the pool) ----------
+
+    pub fn tru(&self) -> TermId {
+        self.pool.tru()
+    }
+
+    pub fn fls(&self) -> TermId {
+        self.pool.fls()
+    }
+
+    pub fn bool_const(&mut self, b: bool) -> TermId {
+        self.pool.bool_const(b)
+    }
+
+    pub fn bv_const(&mut self, value: u64, width: u32) -> TermId {
+        self.pool.bv_const(value, width)
+    }
+
+    /// Fresh uninterpreted constant (named variable) of any sort.
+    pub fn fresh_const(&mut self, name: impl Into<String>, sort: Sort) -> TermId {
+        self.pool.var(name, sort)
+    }
+
+    pub fn declare_fun(&mut self, name: impl Into<String>, args: &[Sort], ret: Sort) -> FuncId {
+        self.pool.declare_fun(name, args, ret)
+    }
+
+    pub fn apply(&mut self, f: FuncId, args: &[TermId]) -> TermId {
+        self.pool.apply(f, args)
+    }
+
+    pub fn not(&mut self, a: TermId) -> TermId {
+        self.pool.not(a)
+    }
+
+    pub fn and(&mut self, args: &[TermId]) -> TermId {
+        self.pool.and(args)
+    }
+
+    pub fn or(&mut self, args: &[TermId]) -> TermId {
+        self.pool.or(args)
+    }
+
+    pub fn implies(&mut self, a: TermId, b: TermId) -> TermId {
+        self.pool.implies(a, b)
+    }
+
+    pub fn iff(&mut self, a: TermId, b: TermId) -> TermId {
+        self.pool.iff(a, b)
+    }
+
+    pub fn eq(&mut self, a: TermId, b: TermId) -> TermId {
+        self.pool.eq(a, b)
+    }
+
+    pub fn distinct(&mut self, xs: &[TermId]) -> TermId {
+        let mut clauses = Vec::new();
+        for i in 0..xs.len() {
+            for j in (i + 1)..xs.len() {
+                let e = self.pool.eq(xs[i], xs[j]);
+                clauses.push(self.pool.not(e));
+            }
+        }
+        self.pool.and(&clauses)
+    }
+
+    pub fn ite(&mut self, c: TermId, t: TermId, e: TermId) -> TermId {
+        self.pool.ite(c, t, e)
+    }
+
+    pub fn bv_ule(&mut self, a: TermId, b: TermId) -> TermId {
+        self.pool.bv_ule(a, b)
+    }
+
+    pub fn bv_ult(&mut self, a: TermId, b: TermId) -> TermId {
+        self.pool.bv_ult(a, b)
+    }
+
+    pub fn bv_extract(&mut self, a: TermId, hi: u32, lo: u32) -> TermId {
+        self.pool.bv_extract(a, hi, lo)
+    }
+
+    pub fn bv_prefix_match(&mut self, a: TermId, value: u64, prefix_len: u32) -> TermId {
+        self.pool.bv_prefix_match(a, value, prefix_len)
+    }
+
+    // ---- solving ---------------------------------------------------------
+
+    /// Adds an assertion to the context.
+    pub fn assert(&mut self, t: TermId) {
+        assert!(self.pool.sort(t).is_bool(), "assertions must be boolean");
+        self.assertions.push(t);
+    }
+
+    pub fn num_assertions(&self) -> usize {
+        self.assertions.len()
+    }
+
+    /// Decides satisfiability of the conjunction of all assertions.
+    ///
+    /// Each call runs a fresh solve over the full assertion set (the VMN
+    /// verifier builds one context per invariant check, so incrementality
+    /// is not needed). On `Sat`, the model is available via
+    /// [`Context::model`].
+    pub fn check(&mut self) -> SatResult {
+        self.model = None;
+
+        // Lower atom-sorted ITEs (needs &mut pool, so done before blasting).
+        let mut lowered = Vec::with_capacity(self.assertions.len());
+        for t in self.assertions.clone() {
+            let (t2, side) = lower_atom_ites(&mut self.pool, t);
+            lowered.push(t2);
+            lowered.extend(side);
+        }
+
+        let mut solver = Solver::new();
+        let mut euf = Euf::new();
+        let mut blaster = Blaster::new(&self.pool, &mut solver, &mut euf);
+        for &t in &lowered {
+            blaster.assert_true(t);
+        }
+        let caches = blaster.into_caches();
+
+        let result = solver.solve(&mut euf);
+        self.stats = solver.stats();
+        match result {
+            CoreResult::Unsat => SatResult::Unsat,
+            CoreResult::Sat => {
+                // Harvest values for every term the encoder saw.
+                let mut values: HashMap<TermId, Value> = HashMap::new();
+                for t in caches.bool_terms() {
+                    if let Some(b) = caches.bool_value(&solver, t) {
+                        values.insert(t, Value::Bool(b));
+                    }
+                }
+                for t in caches.bv_terms() {
+                    if let Some(v) = caches.bv_value(&solver, t) {
+                        values.insert(t, Value::Bv(v));
+                    }
+                }
+                // Atom-sorted terms take their EUF congruence class.
+                for idx in 0..self.pool.len() {
+                    let t = TermId(idx as u32);
+                    if self.pool.sort(t).is_atom() {
+                        if let Some(c) = euf.class_of(t) {
+                            values.insert(t, Value::Class(c));
+                        }
+                    }
+                }
+                self.model = Some(Model::new(values, 0));
+                SatResult::Sat
+            }
+        }
+    }
+
+    /// The model from the last `check`, if it returned [`SatResult::Sat`].
+    pub fn model(&self) -> Option<&Model> {
+        self.model.as_ref()
+    }
+
+    /// Mutable access (model evaluation caches derived values).
+    pub fn model_mut(&mut self) -> Option<&mut Model> {
+        self.model.as_mut()
+    }
+
+    /// Evaluates `t` in the current model. Panics without a model.
+    pub fn eval(&mut self, t: TermId) -> Value {
+        let model = self.model.as_mut().expect("no model: call check() first");
+        model.eval(&self.pool, t)
+    }
+
+    pub fn eval_bool(&mut self, t: TermId) -> bool {
+        self.eval(t).as_bool().expect("expected boolean term")
+    }
+
+    pub fn eval_bv(&mut self, t: TermId) -> u64 {
+        self.eval(t).as_bv().expect("expected bit-vector term")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_example_euf() {
+        let mut ctx = Context::new();
+        let pkt = ctx.sorts_mut().declare("Packet");
+        let p = ctx.fresh_const("p", pkt);
+        let q = ctx.fresh_const("q", pkt);
+        let malicious = ctx.declare_fun("malicious?", &[pkt], Sort::BOOL);
+        let mp = ctx.apply(malicious, &[p]);
+        let mq = ctx.apply(malicious, &[q]);
+        let same = ctx.eq(p, q);
+        let not_mq = ctx.not(mq);
+        ctx.assert(same);
+        ctx.assert(mp);
+        ctx.assert(not_mq);
+        assert_eq!(ctx.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn model_roundtrip_bv() {
+        let mut ctx = Context::new();
+        let x = ctx.fresh_const("x", Sort::bitvec(16));
+        let c = ctx.bv_const(0xBEE, 16);
+        let eq = ctx.eq(x, c);
+        ctx.assert(eq);
+        assert_eq!(ctx.check(), SatResult::Sat);
+        assert_eq!(ctx.eval_bv(x), 0xBEE);
+    }
+
+    #[test]
+    fn distinct_constraint() {
+        let mut ctx = Context::new();
+        let u = ctx.sorts_mut().declare("U");
+        let xs: Vec<TermId> = (0..3).map(|i| ctx.fresh_const(format!("x{i}"), u)).collect();
+        let d = ctx.distinct(&xs);
+        ctx.assert(d);
+        assert_eq!(ctx.check(), SatResult::Sat);
+        let v: Vec<Value> = xs.iter().map(|&x| ctx.eval(x)).collect();
+        assert_ne!(v[0], v[1]);
+        assert_ne!(v[1], v[2]);
+        assert_ne!(v[0], v[2]);
+    }
+
+    #[test]
+    fn distinct_with_forced_equality_unsat() {
+        let mut ctx = Context::new();
+        let u = ctx.sorts_mut().declare("U");
+        let a = ctx.fresh_const("a", u);
+        let b = ctx.fresh_const("b", u);
+        let d = ctx.distinct(&[a, b]);
+        let e = ctx.eq(a, b);
+        ctx.assert(d);
+        ctx.assert(e);
+        assert_eq!(ctx.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn reuse_context_for_multiple_checks() {
+        let mut ctx = Context::new();
+        let x = ctx.fresh_const("x", Sort::Bool);
+        ctx.assert(x);
+        assert_eq!(ctx.check(), SatResult::Sat);
+        let nx = ctx.not(x);
+        ctx.assert(nx);
+        assert_eq!(ctx.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn atom_ite_end_to_end() {
+        let mut ctx = Context::new();
+        let u = ctx.sorts_mut().declare("U");
+        let c = ctx.fresh_const("c", Sort::Bool);
+        let a = ctx.fresh_const("a", u);
+        let b = ctx.fresh_const("b", u);
+        let ite = ctx.ite(c, a, b);
+        // ite != a and ite != b forces contradiction.
+        let e1 = ctx.eq(ite, a);
+        let n1 = ctx.not(e1);
+        let e2 = ctx.eq(ite, b);
+        let n2 = ctx.not(e2);
+        ctx.assert(n1);
+        ctx.assert(n2);
+        assert_eq!(ctx.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn prefix_match_semantics() {
+        let mut ctx = Context::new();
+        let addr = ctx.fresh_const("addr", Sort::bitvec(32));
+        let in_subnet = ctx.bv_prefix_match(addr, 0x0A00_0000, 8); // 10/8
+        let outside = ctx.bv_const(0x0B00_0001, 32); // 11.0.0.1 — outside 10/8
+        let is_target = ctx.eq(addr, outside);
+        ctx.assert(in_subnet);
+        ctx.assert(is_target);
+        assert_eq!(ctx.check(), SatResult::Unsat);
+    }
+}

@@ -1,0 +1,121 @@
+//! Sorts (types) of SMT terms.
+//!
+//! VMN needs three families of sorts: booleans, fixed-width bit-vectors
+//! (addresses, ports, header fields) and uninterpreted *atom* sorts
+//! (packet identities, node identities fed to classification oracles).
+
+use std::fmt;
+
+/// Identifier of a declared uninterpreted sort.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct SortId(pub u32);
+
+/// The sort of a term.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Sort {
+    /// Propositional booleans.
+    Bool,
+    /// Bit-vectors of the given positive width (≤ 64).
+    BitVec(u32),
+    /// A declared uninterpreted sort.
+    Atom(SortId),
+}
+
+impl Sort {
+    pub const BOOL: Sort = Sort::Bool;
+
+    /// Bit-vector sort of width `w`. Panics if `w` is zero or above 64;
+    /// VMN header fields all fit in 64 bits.
+    pub fn bitvec(w: u32) -> Sort {
+        assert!(w >= 1 && w <= 64, "bit-vector width must be in 1..=64, got {w}");
+        Sort::BitVec(w)
+    }
+
+    pub fn is_bool(self) -> bool {
+        matches!(self, Sort::Bool)
+    }
+
+    pub fn bv_width(self) -> Option<u32> {
+        match self {
+            Sort::BitVec(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    pub fn is_atom(self) -> bool {
+        matches!(self, Sort::Atom(_))
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Bool => write!(f, "Bool"),
+            Sort::BitVec(w) => write!(f, "(BitVec {w})"),
+            Sort::Atom(id) => write!(f, "Atom#{}", id.0),
+        }
+    }
+}
+
+/// Registry of declared uninterpreted sorts.
+#[derive(Default, Clone, Debug)]
+pub struct SortStore {
+    names: Vec<String>,
+}
+
+impl SortStore {
+    pub fn new() -> SortStore {
+        SortStore::default()
+    }
+
+    /// Declares a fresh uninterpreted sort and returns its [`Sort`].
+    pub fn declare(&mut self, name: impl Into<String>) -> Sort {
+        let id = SortId(self.names.len() as u32);
+        self.names.push(name.into());
+        Sort::Atom(id)
+    }
+
+    pub fn name(&self, id: SortId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_name() {
+        let mut s = SortStore::new();
+        let pkt = s.declare("Packet");
+        let node = s.declare("Node");
+        assert_ne!(pkt, node);
+        match (pkt, node) {
+            (Sort::Atom(a), Sort::Atom(b)) => {
+                assert_eq!(s.name(a), "Packet");
+                assert_eq!(s.name(b), "Node");
+            }
+            _ => panic!("expected atom sorts"),
+        }
+    }
+
+    #[test]
+    fn bitvec_widths() {
+        assert_eq!(Sort::bitvec(32).bv_width(), Some(32));
+        assert_eq!(Sort::Bool.bv_width(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_rejected() {
+        Sort::bitvec(0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests for the SMT solver.
+//!
+//! The central invariant: whenever `check()` reports SAT, evaluating every
+//! assertion under the returned model yields true; whenever it reports
+//! UNSAT on a formula that a brute-force enumerator can decide, the
+//! enumerator agrees.
+
+use proptest::prelude::*;
+use vmn_smt::{Context, SatResult, Sort, TermId};
+
+/// A tiny recursive formula AST that proptest can generate, later lowered
+/// into a `Context`.
+#[derive(Clone, Debug)]
+enum F {
+    Var(u8),
+    Not(Box<F>),
+    And(Box<F>, Box<F>),
+    Or(Box<F>, Box<F>),
+    Iff(Box<F>, Box<F>),
+    Implies(Box<F>, Box<F>),
+    /// Equality of two of four 4-bit bit-vector variables.
+    BvEq(u8, u8),
+    /// `bv[a] <= bv[b]`.
+    BvLe(u8, u8),
+    /// Equality of two of four atom constants.
+    AtomEq(u8, u8),
+}
+
+fn formula() -> impl Strategy<Value = F> {
+    let leaf = prop_oneof![
+        (0u8..4).prop_map(F::Var),
+        (0u8..4, 0u8..4).prop_map(|(a, b)| F::BvEq(a, b)),
+        (0u8..4, 0u8..4).prop_map(|(a, b)| F::BvLe(a, b)),
+        (0u8..4, 0u8..4).prop_map(|(a, b)| F::AtomEq(a, b)),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| F::Not(Box::new(f))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::Iff(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| F::Implies(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+struct Env {
+    bools: Vec<TermId>,
+    bvs: Vec<TermId>,
+    atoms: Vec<TermId>,
+}
+
+fn build(ctx: &mut Context, f: &F, env: &Env) -> TermId {
+    match f {
+        F::Var(i) => env.bools[*i as usize],
+        F::Not(a) => {
+            let t = build(ctx, a, env);
+            ctx.not(t)
+        }
+        F::And(a, b) => {
+            let (x, y) = (build(ctx, a, env), build(ctx, b, env));
+            ctx.and(&[x, y])
+        }
+        F::Or(a, b) => {
+            let (x, y) = (build(ctx, a, env), build(ctx, b, env));
+            ctx.or(&[x, y])
+        }
+        F::Iff(a, b) => {
+            let (x, y) = (build(ctx, a, env), build(ctx, b, env));
+            ctx.iff(x, y)
+        }
+        F::Implies(a, b) => {
+            let (x, y) = (build(ctx, a, env), build(ctx, b, env));
+            ctx.implies(x, y)
+        }
+        F::BvEq(a, b) => ctx.eq(env.bvs[*a as usize], env.bvs[*b as usize]),
+        F::BvLe(a, b) => ctx.bv_ule(env.bvs[*a as usize], env.bvs[*b as usize]),
+        F::AtomEq(a, b) => ctx.eq(env.atoms[*a as usize], env.atoms[*b as usize]),
+    }
+}
+
+/// Reference evaluation of a formula under concrete assignments.
+fn eval_ref(f: &F, bools: &[bool; 4], bvs: &[u8; 4], atoms: &[u8; 4]) -> bool {
+    match f {
+        F::Var(i) => bools[*i as usize],
+        F::Not(a) => !eval_ref(a, bools, bvs, atoms),
+        F::And(a, b) => eval_ref(a, bools, bvs, atoms) && eval_ref(b, bools, bvs, atoms),
+        F::Or(a, b) => eval_ref(a, bools, bvs, atoms) || eval_ref(b, bools, bvs, atoms),
+        F::Iff(a, b) => eval_ref(a, bools, bvs, atoms) == eval_ref(b, bools, bvs, atoms),
+        F::Implies(a, b) => !eval_ref(a, bools, bvs, atoms) || eval_ref(b, bools, bvs, atoms),
+        F::BvEq(a, b) => bvs[*a as usize] == bvs[*b as usize],
+        F::BvLe(a, b) => bvs[*a as usize] <= bvs[*b as usize],
+        F::AtomEq(a, b) => atoms[*a as usize] == atoms[*b as usize],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// SAT answers come with models that really satisfy the assertion.
+    #[test]
+    fn models_satisfy_assertions(f in formula()) {
+        let mut ctx = Context::new();
+        let u = ctx.sorts_mut().declare("U");
+        let env = Env {
+            bools: (0..4).map(|i| ctx.fresh_const(format!("b{i}"), Sort::Bool)).collect(),
+            bvs: (0..4).map(|i| ctx.fresh_const(format!("v{i}"), Sort::bitvec(4))).collect(),
+            atoms: (0..4).map(|i| ctx.fresh_const(format!("a{i}"), u)).collect(),
+        };
+        let t = build(&mut ctx, &f, &env);
+        ctx.assert(t);
+        if ctx.check() == SatResult::Sat {
+            prop_assert!(ctx.eval_bool(t), "model does not satisfy the assertion: {f:?}");
+        }
+    }
+
+    /// The solver agrees with brute-force enumeration over small domains.
+    ///
+    /// Atom variables range over a 4-value domain for enumeration; this is
+    /// sufficient because a formula over 4 atom constants is satisfiable
+    /// over some domain iff it is satisfiable over a 4-element domain.
+    #[test]
+    fn agrees_with_bruteforce(f in formula()) {
+        let mut ctx = Context::new();
+        let u = ctx.sorts_mut().declare("U");
+        let env = Env {
+            bools: (0..4).map(|i| ctx.fresh_const(format!("b{i}"), Sort::Bool)).collect(),
+            bvs: (0..4).map(|i| ctx.fresh_const(format!("v{i}"), Sort::bitvec(4))).collect(),
+            atoms: (0..4).map(|i| ctx.fresh_const(format!("a{i}"), u)).collect(),
+        };
+        let t = build(&mut ctx, &f, &env);
+        ctx.assert(t);
+        let solver_sat = ctx.check() == SatResult::Sat;
+
+        // Brute force: booleans 2^4, bit-vectors constrained to 0..4 (only
+        // ordering/equality matter, and 4 values can realise every
+        // order-type of 4 variables), atoms over a 4-value domain.
+        let mut brute_sat = false;
+        'outer: for bm in 0u32..16 {
+            let bools = [bm & 1 != 0, bm & 2 != 0, bm & 4 != 0, bm & 8 != 0];
+            for vm in 0u32..256 {
+                let bvs = [
+                    (vm & 3) as u8,
+                    ((vm >> 2) & 3) as u8,
+                    ((vm >> 4) & 3) as u8,
+                    ((vm >> 6) & 3) as u8,
+                ];
+                for am in 0u32..256 {
+                    let atoms = [
+                        (am & 3) as u8,
+                        ((am >> 2) & 3) as u8,
+                        ((am >> 4) & 3) as u8,
+                        ((am >> 6) & 3) as u8,
+                    ];
+                    if eval_ref(&f, &bools, &bvs, &atoms) {
+                        brute_sat = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(solver_sat, brute_sat, "solver disagrees with brute force on {:?}", f);
+    }
+}
+
+#[test]
+fn deep_nesting_does_not_blow_up() {
+    // A linear chain of implications with a contradiction at the end.
+    let mut ctx = Context::new();
+    let vars: Vec<TermId> = (0..200).map(|i| ctx.fresh_const(format!("x{i}"), Sort::Bool)).collect();
+    ctx.assert(vars[0]);
+    for w in vars.windows(2) {
+        let imp = ctx.implies(w[0], w[1]);
+        ctx.assert(imp);
+    }
+    let last = *vars.last().unwrap();
+    let nl = ctx.not(last);
+    ctx.assert(nl);
+    assert_eq!(ctx.check(), SatResult::Unsat);
+}
+
+#[test]
+fn wide_equality_network() {
+    // A ring of 64 atom constants forced equal, with one disequality.
+    let mut ctx = Context::new();
+    let u = ctx.sorts_mut().declare("U");
+    let xs: Vec<TermId> = (0..64).map(|i| ctx.fresh_const(format!("n{i}"), u)).collect();
+    for w in xs.windows(2) {
+        let e = ctx.eq(w[0], w[1]);
+        ctx.assert(e);
+    }
+    let e = ctx.eq(xs[0], xs[63]);
+    let ne = ctx.not(e);
+    ctx.assert(ne);
+    assert_eq!(ctx.check(), SatResult::Unsat);
+}

@@ -1,0 +1,337 @@
+//! The verification engine: slices → bounded encoding → SMT → verdicts.
+
+use crate::bounds;
+use crate::encoder::{self, EncodeError};
+use crate::invariant::Invariant;
+use crate::network::Network;
+use crate::policy::{group_by_symmetry, PolicyClasses};
+use crate::slice::compute_slice;
+use crate::trace::Trace;
+use std::time::{Duration, Instant};
+use vmn_net::{FailureScenario, NetError, NodeId};
+use vmn_smt::SatResult;
+
+/// Outcome of verifying one invariant.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// No reachable violation in any checked failure scenario.
+    Holds,
+    /// A violation witness was found (with the scenario it occurs in).
+    Violated { trace: Trace, scenario: FailureScenario },
+}
+
+impl Verdict {
+    pub fn holds(&self) -> bool {
+        matches!(self, Verdict::Holds)
+    }
+}
+
+/// Verification report for one invariant.
+#[derive(Clone, Debug)]
+pub struct Report {
+    pub invariant: Invariant,
+    pub verdict: Verdict,
+    pub elapsed: Duration,
+    /// Number of failure scenarios checked (stops early on violation).
+    pub scenarios_checked: usize,
+    /// Terminals in the (largest) encoded node set.
+    pub encoded_nodes: usize,
+    /// Trace bound used for the (last) encoding.
+    pub steps: usize,
+    /// Whether the verdict was inherited from a symmetric representative
+    /// instead of being verified directly.
+    pub inherited: bool,
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct VerifyOptions {
+    /// Verify on slices (§4) instead of the whole network.
+    pub use_slices: bool,
+    /// Extra steps added to the computed trace bound.
+    pub slack: usize,
+    /// Overrides the computed trace bound entirely.
+    pub steps_override: Option<usize>,
+    /// Policy classes, if the operator knows them; otherwise they are
+    /// computed by partition refinement.
+    pub policy_hint: Option<Vec<Vec<NodeId>>>,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            use_slices: true,
+            slack: bounds::DEFAULT_SLACK,
+            steps_override: None,
+            policy_hint: None,
+        }
+    }
+}
+
+impl VerifyOptions {
+    /// Whole-network verification (the baseline the paper compares
+    /// against in Figures 7–9).
+    pub fn whole_network() -> VerifyOptions {
+        VerifyOptions { use_slices: false, ..VerifyOptions::default() }
+    }
+}
+
+/// Errors surfaced by verification.
+#[derive(Debug)]
+pub enum VerifyError {
+    Net(NetError),
+    Encode(EncodeError),
+    InvalidNetwork(String),
+}
+
+impl From<NetError> for VerifyError {
+    fn from(e: NetError) -> Self {
+        VerifyError::Net(e)
+    }
+}
+
+impl From<EncodeError> for VerifyError {
+    fn from(e: EncodeError) -> Self {
+        VerifyError::Encode(e)
+    }
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Net(e) => write!(f, "{e}"),
+            VerifyError::Encode(e) => write!(f, "{e}"),
+            VerifyError::InvalidNetwork(s) => write!(f, "invalid network: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// The VMN verifier for one network.
+pub struct Verifier<'n> {
+    net: &'n Network,
+    options: VerifyOptions,
+    policy: PolicyClasses,
+}
+
+impl<'n> Verifier<'n> {
+    pub fn new(net: &'n Network, options: VerifyOptions) -> Result<Verifier<'n>, VerifyError> {
+        net.validate().map_err(VerifyError::InvalidNetwork)?;
+        let policy = match &options.policy_hint {
+            Some(groups) => PolicyClasses::from_groups(groups.clone()),
+            None => PolicyClasses::compute(net),
+        };
+        Ok(Verifier { net, options, policy })
+    }
+
+    pub fn policy(&self) -> &PolicyClasses {
+        &self.policy
+    }
+
+    /// Verifies a single invariant across all configured failure
+    /// scenarios, stopping at the first violation.
+    pub fn verify(&self, inv: &Invariant) -> Result<Report, VerifyError> {
+        let start = Instant::now();
+        let mut scenarios_checked = 0;
+        let mut encoded_nodes = 0;
+        let mut steps_used = 0;
+        for scenario in self.net.all_scenarios() {
+            scenarios_checked += 1;
+            let nodes: Vec<NodeId> = if self.options.use_slices {
+                compute_slice(self.net, &scenario, inv, &self.policy)?
+            } else {
+                self.net.topo.terminals().collect()
+            };
+            let k = self.options.steps_override.unwrap_or_else(|| {
+                bounds::trace_bound(self.net, &scenario, inv, &nodes, self.options.slack)
+            });
+            encoded_nodes = encoded_nodes.max(nodes.len());
+            steps_used = k;
+            let mut enc = encoder::encode(self.net, &scenario, &nodes, inv, k)?;
+            if enc.ctx.check() == SatResult::Sat {
+                let trace = Trace::extract(&mut enc);
+                return Ok(Report {
+                    invariant: inv.clone(),
+                    verdict: Verdict::Violated { trace, scenario },
+                    elapsed: start.elapsed(),
+                    scenarios_checked,
+                    encoded_nodes,
+                    steps: steps_used,
+                    inherited: false,
+                });
+            }
+        }
+        Ok(Report {
+            invariant: inv.clone(),
+            verdict: Verdict::Holds,
+            elapsed: start.elapsed(),
+            scenarios_checked,
+            encoded_nodes,
+            steps: steps_used,
+            inherited: false,
+        })
+    }
+
+    /// Verifies a set of invariants, exploiting symmetry (one solver run
+    /// per symmetry group, §4.2) and thread-level parallelism.
+    ///
+    /// Returns one report per input invariant, in input order.
+    pub fn verify_all(
+        &self,
+        invariants: &[Invariant],
+        threads: usize,
+    ) -> Result<Vec<Report>, VerifyError> {
+        let groups = group_by_symmetry(self.net, &self.policy, invariants);
+        let reps: Vec<usize> = groups.iter().map(|g| g[0]).collect();
+
+        // Verify representatives (possibly in parallel).
+        let rep_reports: Vec<Result<Report, VerifyError>> = if threads <= 1 || reps.len() <= 1 {
+            reps.iter().map(|&i| self.verify(&invariants[i])).collect()
+        } else {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let results: Vec<std::sync::Mutex<Option<Result<Report, VerifyError>>>> =
+                reps.iter().map(|_| std::sync::Mutex::new(None)).collect();
+            crossbeam::scope(|scope| {
+                for _ in 0..threads.min(reps.len()) {
+                    scope.spawn(|_| loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        if i >= reps.len() {
+                            break;
+                        }
+                        let r = self.verify(&invariants[reps[i]]);
+                        *results[i].lock().unwrap() = Some(r);
+                    });
+                }
+            })
+            .expect("verification worker panicked");
+            results
+                .into_iter()
+                .map(|m| m.into_inner().unwrap().expect("worker filled result"))
+                .collect()
+        };
+
+        // Distribute verdicts to symmetric members.
+        let mut out: Vec<Option<Report>> = (0..invariants.len()).map(|_| None).collect();
+        for (g_idx, group) in groups.iter().enumerate() {
+            let rep_report = match &rep_reports[g_idx] {
+                Ok(r) => r.clone(),
+                Err(e) => {
+                    return Err(match e {
+                        VerifyError::Net(n) => VerifyError::Net(n.clone()),
+                        VerifyError::Encode(_) => {
+                            VerifyError::InvalidNetwork("encoding failed".into())
+                        }
+                        VerifyError::InvalidNetwork(s) => VerifyError::InvalidNetwork(s.clone()),
+                    })
+                }
+            };
+            for (pos, &inv_idx) in group.iter().enumerate() {
+                let mut r = rep_report.clone();
+                r.invariant = invariants[inv_idx].clone();
+                r.inherited = pos > 0;
+                out[inv_idx] = Some(r);
+            }
+        }
+        Ok(out.into_iter().map(|r| r.expect("all invariants covered")).collect())
+    }
+
+    /// Convenience: is `dst` reachable from `src`? (The dual of simple
+    /// isolation: reachability holds iff the isolation invariant is
+    /// violated.)
+    pub fn can_reach(&self, src: NodeId, dst: NodeId) -> Result<bool, VerifyError> {
+        let inv = Invariant::NodeIsolation { src, dst };
+        Ok(!self.verify(&inv)?.verdict.holds())
+    }
+}
+
+impl<'n> Verifier<'n> {
+    /// Checks a *pipeline invariant* (§2.3): packets from `src` to `dst`
+    /// must traverse the given middlebox-type sequence on the static
+    /// datapath. This is the invariant family the paper delegates to
+    /// static-datapath tools; the checker lives in `vmn-net` and is
+    /// surfaced here so both §2.1 invariant classes share one entry point.
+    ///
+    /// Checked under every configured failure scenario; returns the first
+    /// violation found.
+    pub fn check_pipeline(
+        &self,
+        spec: &vmn_net::PipelineSpec,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<Option<(vmn_net::PipelineViolation, FailureScenario)>, VerifyError> {
+        for scenario in self.net.all_scenarios() {
+            let tf = vmn_net::TransferFunction::new(&self.net.topo, &self.net.tables, &scenario);
+            for &addr in &self.net.topo.node(dst).addresses {
+                if let Err(v) = spec.check(&tf, src, addr).map_err(VerifyError::Net)? {
+                    return Ok(Some((v, scenario)));
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod engine_tests {
+    use super::*;
+    use vmn_mbox::models;
+    use vmn_net::{PipelineSpec, Prefix, RoutingConfig, Rule, Topology};
+
+    fn px(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn pipelined(with_backup: bool) -> (Network, NodeId, NodeId) {
+        let mut topo = Topology::new();
+        let src = topo.add_host("src", "8.8.8.8".parse().unwrap());
+        let dst = topo.add_host("dst", "10.0.0.5".parse().unwrap());
+        let sw = topo.add_switch("sw");
+        let fw1 = topo.add_middlebox("fw1", "stateful-firewall", vec![]);
+        let fw2 = topo.add_middlebox("fw2", "stateful-firewall", vec![]);
+        for n in [src, dst, fw1, fw2] {
+            topo.add_link(n, sw);
+        }
+        let mut rc = RoutingConfig::new();
+        rc.host_routes(&topo);
+        let mut tables = rc.build(&topo, &vmn_net::FailureScenario::none());
+        tables.add_rule(sw, Rule::from_neighbor(px("10.0.0.0/8"), src, fw1).with_priority(20));
+        if with_backup {
+            tables.add_rule(sw, Rule::from_neighbor(px("10.0.0.0/8"), src, fw2).with_priority(10));
+        }
+        let mut net = Network::new(topo, tables);
+        let acl = vec![(px("0.0.0.0/0"), px("0.0.0.0/0"))];
+        net.set_model(fw1, models::learning_firewall("stateful-firewall", acl.clone()));
+        net.set_model(fw2, models::learning_firewall("stateful-firewall", acl));
+        net.add_scenario(vmn_net::FailureScenario::nodes([fw1]));
+        (net, src, dst)
+    }
+
+    #[test]
+    fn pipeline_holds_with_backup_steering() {
+        let (net, src, dst) = pipelined(true);
+        let v = Verifier::new(&net, VerifyOptions::default()).unwrap();
+        let spec = PipelineSpec::new(["stateful-firewall"]);
+        assert!(v.check_pipeline(&spec, src, dst).unwrap().is_none());
+    }
+
+    #[test]
+    fn pipeline_violated_without_backup_under_failure() {
+        let (net, src, dst) = pipelined(false);
+        let v = Verifier::new(&net, VerifyOptions::default()).unwrap();
+        let spec = PipelineSpec::new(["stateful-firewall"]);
+        let (violation, scenario) =
+            v.check_pipeline(&spec, src, dst).unwrap().expect("bypass found");
+        assert_eq!(violation.missing, "stateful-firewall");
+        assert_eq!(scenario.fault_count(), 1, "only the failure scenario bypasses");
+    }
+
+    #[test]
+    fn steps_override_is_respected() {
+        let (net, src, dst) = pipelined(true);
+        let opts = VerifyOptions { steps_override: Some(3), ..Default::default() };
+        let v = Verifier::new(&net, opts).unwrap();
+        let r = v.verify(&Invariant::NodeIsolation { src, dst }).unwrap();
+        assert_eq!(r.steps, 3);
+    }
+}

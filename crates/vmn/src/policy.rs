@@ -1,0 +1,315 @@
+//! Policy equivalence classes and invariant symmetry (§4.1–§4.2).
+//!
+//! Two hosts belong to the same *policy equivalence class* when all
+//! packets they send and receive traverse the same middlebox types and
+//! are treated according to the same policy. Classes are computed by
+//! partition refinement: start with hosts grouped by their static policy
+//! fingerprint (which ACL entries mention them) and repeatedly split
+//! classes whose members see different middlebox-type pipelines towards
+//! the current classes' representatives, until a fixpoint.
+//!
+//! Symmetric invariants — those obtained from one another by replacing
+//! nodes with same-class nodes — share verdicts, so
+//! [`group_by_symmetry`] lets the engine verify one representative per
+//! group (§4.2).
+
+use crate::invariant::Invariant;
+use crate::network::Network;
+use std::collections::HashMap;
+use vmn_net::{FailureScenario, NodeId, TransferFunction};
+
+/// A partition of the network's hosts into policy equivalence classes.
+#[derive(Clone, Debug)]
+pub struct PolicyClasses {
+    /// Hosts of each class.
+    pub classes: Vec<Vec<NodeId>>,
+    class_of: HashMap<NodeId, usize>,
+}
+
+impl PolicyClasses {
+    /// Builds classes from an explicit grouping (scenario generators know
+    /// their policy groups; the paper's operators configure networks in
+    /// terms of such groups).
+    pub fn from_groups(groups: Vec<Vec<NodeId>>) -> PolicyClasses {
+        let class_of = groups
+            .iter()
+            .enumerate()
+            .flat_map(|(i, g)| g.iter().map(move |&h| (h, i)))
+            .collect();
+        PolicyClasses { classes: groups, class_of }
+    }
+
+    /// Computes classes by partition refinement over the no-failure
+    /// transfer function and the middlebox configurations.
+    pub fn compute(net: &Network) -> PolicyClasses {
+        let scenario = FailureScenario::none();
+        let tf = TransferFunction::new(&net.topo, &net.tables, &scenario);
+        let hosts: Vec<NodeId> = net.topo.hosts().collect();
+
+        // Static fingerprint: which ACL prefix entries (across all
+        // middlebox models) match the host's address, plus the middlebox
+        // types adjacent on its own traffic.
+        let mut fingerprint: HashMap<NodeId, Vec<bool>> = HashMap::new();
+        for &h in &hosts {
+            let addr = net.host_address(h);
+            let mut bits = Vec::new();
+            let mut mbox_ids: Vec<NodeId> = net.topo.middleboxes().collect();
+            mbox_ids.sort();
+            for m in mbox_ids {
+                let model = net.model(m);
+                for (_, pairs) in &model.acls {
+                    for (sp, dp) in pairs {
+                        bits.push(sp.contains(addr));
+                        bits.push(dp.contains(addr));
+                    }
+                }
+                for rule in &model.rules {
+                    for action in &rule.actions {
+                        if let vmn_mbox::Action::RewriteDstOneOf(addrs) = action {
+                            bits.push(addrs.contains(&addr));
+                        }
+                    }
+                }
+            }
+            fingerprint.insert(h, bits);
+        }
+
+        // Initial partition by fingerprint.
+        let mut class_of: HashMap<NodeId, usize> = HashMap::new();
+        {
+            let mut seen: HashMap<Vec<bool>, usize> = HashMap::new();
+            for &h in &hosts {
+                let f = fingerprint[&h].clone();
+                let next = seen.len();
+                let c = *seen.entry(f).or_insert(next);
+                class_of.insert(h, c);
+            }
+        }
+
+        // Refinement: split by pipeline signatures against class
+        // representatives. When probing a host's own class, use another
+        // member as the representative (a host compared against itself
+        // would see a meaningless path and split spuriously).
+        loop {
+            let mut members: HashMap<usize, Vec<NodeId>> = HashMap::new();
+            for &h in &hosts {
+                members.entry(class_of[&h]).or_default().push(h);
+            }
+            let mut class_list: Vec<usize> = members.keys().copied().collect();
+            class_list.sort();
+
+            let mut sigs: HashMap<NodeId, Vec<(usize, Vec<String>, Vec<String>)>> = HashMap::new();
+            for &h in &hosts {
+                let mut sig = Vec::new();
+                for &c in &class_list {
+                    let rep = members[&c].iter().copied().find(|&r| r != h);
+                    let Some(rep) = rep else {
+                        continue; // h is the sole member: nothing to probe
+                    };
+                    let fwd = pipeline_types(net, &tf, h, rep);
+                    let back = pipeline_types(net, &tf, rep, h);
+                    sig.push((c, fwd, back));
+                }
+                sigs.insert(h, sig);
+            }
+
+            let mut new_class: HashMap<(usize, Vec<(usize, Vec<String>, Vec<String>)>), usize> =
+                HashMap::new();
+            let mut next_of: HashMap<NodeId, usize> = HashMap::new();
+            for &h in &hosts {
+                let key = (class_of[&h], sigs[&h].clone());
+                let n = new_class.len();
+                let c = *new_class.entry(key).or_insert(n);
+                next_of.insert(h, c);
+            }
+            let stable = hosts.iter().all(|h| {
+                hosts.iter().all(|g| (class_of[h] == class_of[g]) == (next_of[h] == next_of[g]))
+            });
+            class_of = next_of;
+            if stable {
+                break;
+            }
+        }
+
+        let num = class_of.values().copied().max().map_or(0, |m| m + 1);
+        let mut classes = vec![Vec::new(); num];
+        for &h in &hosts {
+            classes[class_of[&h]].push(h);
+        }
+        classes.iter_mut().for_each(|c| c.sort());
+        PolicyClasses { classes, class_of }
+    }
+
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    pub fn class_of(&self, h: NodeId) -> Option<usize> {
+        self.class_of.get(&h).copied()
+    }
+
+    /// One representative host per class.
+    pub fn representatives(&self) -> Vec<NodeId> {
+        self.classes.iter().filter_map(|c| c.first().copied()).collect()
+    }
+
+    pub fn same_class(&self, a: NodeId, b: NodeId) -> bool {
+        match (self.class_of(a), self.class_of(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+}
+
+/// The middlebox-type pipeline between two hosts (marker entry on static
+/// datapath errors so broken paths never merge with working ones).
+fn pipeline_types(
+    net: &Network,
+    tf: &TransferFunction<'_>,
+    from: NodeId,
+    to: NodeId,
+) -> Vec<String> {
+    let addr = net.host_address(to);
+    match tf.terminal_path(from, addr) {
+        Ok((mboxes, end)) => {
+            let mut types: Vec<String> = mboxes
+                .iter()
+                .filter_map(|&m| net.topo.mbox_type(m).map(str::to_string))
+                .collect();
+            types.push(match end {
+                Some(_) => "delivered".to_string(),
+                None => "dropped".to_string(),
+            });
+            types
+        }
+        Err(_) => vec!["error".to_string()],
+    }
+}
+
+/// Symmetry signature of an invariant: its kind, the policy classes of
+/// its host endpoints, and the types of referenced middleboxes.
+pub fn symmetry_key(net: &Network, pc: &PolicyClasses, inv: &Invariant) -> String {
+    let class = |n: NodeId| match pc.class_of(n) {
+        Some(c) => format!("c{c}"),
+        None => format!("{:?}", n), // non-host endpoints keep identity
+    };
+    match inv {
+        Invariant::NodeIsolation { src, dst } => {
+            format!("node-iso:{}:{}", class(*src), class(*dst))
+        }
+        Invariant::FlowIsolation { src, dst } => {
+            format!("flow-iso:{}:{}", class(*src), class(*dst))
+        }
+        Invariant::DataIsolation { origin, dst } => {
+            format!("data-iso:{}:{}", class(*origin), class(*dst))
+        }
+        Invariant::Traversal { dst, through, from } => {
+            let mut types: Vec<&str> = through
+                .iter()
+                .filter_map(|&m| net.topo.mbox_type(m))
+                .collect();
+            types.sort();
+            format!(
+                "traversal:{}:{}:{}",
+                class(*dst),
+                types.join(","),
+                from.map(class).unwrap_or_else(|| "*".into())
+            )
+        }
+    }
+}
+
+/// Groups invariant indices by symmetry; each group's first element is the
+/// representative to actually verify.
+pub fn group_by_symmetry(
+    net: &Network,
+    pc: &PolicyClasses,
+    invariants: &[Invariant],
+) -> Vec<Vec<usize>> {
+    let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, inv) in invariants.iter().enumerate() {
+        groups.entry(symmetry_key(net, pc, inv)).or_default().push(i);
+    }
+    let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmn_mbox::models;
+    use vmn_net::{Address, Prefix, RoutingConfig, Rule, Topology};
+
+    fn addr(s: &str) -> Address {
+        s.parse().unwrap()
+    }
+
+    fn px(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    /// Two "web" hosts treated identically and one "admin" host with
+    /// extra firewall privileges.
+    fn asymmetric_net() -> (Network, Vec<NodeId>) {
+        let mut topo = Topology::new();
+        let web1 = topo.add_host("web1", addr("10.0.1.1"));
+        let web2 = topo.add_host("web2", addr("10.0.1.2"));
+        let admin = topo.add_host("admin", addr("10.0.2.1"));
+        let ext = topo.add_host("ext", addr("8.8.8.8"));
+        let sw = topo.add_switch("sw");
+        let fw = topo.add_middlebox("fw", "stateful-firewall", vec![]);
+        for n in [web1, web2, admin, ext, fw] {
+            topo.add_link(n, sw);
+        }
+        let mut rc = RoutingConfig::new();
+        rc.host_routes(&topo);
+        let mut tables = rc.build(&topo, &FailureScenario::none());
+        // Traffic from ext to anybody goes through the firewall.
+        tables.add_rule(sw, Rule::from_neighbor(px("10.0.0.0/8"), ext, fw).with_priority(10));
+        let mut net = Network::new(topo, tables);
+        // Firewall: admin may be contacted from outside; web hosts not.
+        net.set_model(
+            fw,
+            models::learning_firewall(
+                "stateful-firewall",
+                vec![(px("0.0.0.0/0"), px("10.0.2.0/24"))],
+            ),
+        );
+        (net, vec![web1, web2, admin, ext])
+    }
+
+    #[test]
+    fn refinement_groups_equivalent_hosts() {
+        let (net, hosts) = asymmetric_net();
+        let pc = PolicyClasses::compute(&net);
+        let (web1, web2, admin, ext) = (hosts[0], hosts[1], hosts[2], hosts[3]);
+        assert!(pc.same_class(web1, web2), "identical web hosts share a class");
+        assert!(!pc.same_class(web1, admin), "admin is treated differently by the ACL");
+        assert!(!pc.same_class(web1, ext), "external host differs");
+    }
+
+    #[test]
+    fn explicit_groups_respected() {
+        let (_, hosts) = asymmetric_net();
+        let pc = PolicyClasses::from_groups(vec![vec![hosts[0], hosts[1]], vec![hosts[2]]]);
+        assert_eq!(pc.num_classes(), 2);
+        assert!(pc.same_class(hosts[0], hosts[1]));
+        assert_eq!(pc.class_of(hosts[3]), None);
+    }
+
+    #[test]
+    fn symmetric_invariants_grouped() {
+        let (net, hosts) = asymmetric_net();
+        let pc = PolicyClasses::compute(&net);
+        let (web1, web2, _admin, ext) = (hosts[0], hosts[1], hosts[2], hosts[3]);
+        let invs = vec![
+            Invariant::NodeIsolation { src: ext, dst: web1 },
+            Invariant::NodeIsolation { src: ext, dst: web2 },
+            Invariant::FlowIsolation { src: ext, dst: web1 },
+        ];
+        let groups = group_by_symmetry(&net, &pc, &invs);
+        assert_eq!(groups.len(), 2, "the two node-isolation invariants are symmetric");
+        assert!(groups.iter().any(|g| g.len() == 2));
+    }
+}

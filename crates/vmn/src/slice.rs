@@ -1,0 +1,208 @@
+//! Slice discovery (§4 / §4.1).
+//!
+//! A *slice* is a subnetwork closed under forwarding and state; an
+//! invariant referencing only slice members holds on the network iff it
+//! holds on the slice. For networks of flow-parallel middleboxes, a
+//! forwarding-closed subnetwork containing the invariant's endpoints
+//! suffices; when origin-agnostic middleboxes (content caches) are
+//! involved, the slice additionally needs one representative host per
+//! policy equivalence class so that every distinguishable way of
+//! installing shared state is represented.
+//!
+//! Closure is computed as a fixpoint: starting from the invariant's
+//! endpoints, follow the static datapath between every pair of in-slice
+//! terminals (both directions) and admit every middlebox encountered;
+//! middlebox models that rewrite packets toward other addresses (load
+//! balancers, NATs) pull the owners of those addresses in as well.
+
+use crate::invariant::Invariant;
+use crate::network::Network;
+use crate::policy::PolicyClasses;
+use std::collections::BTreeSet;
+use vmn_mbox::Parallelism;
+use vmn_net::{Address, FailureScenario, NetError, NodeId, TransferFunction};
+
+/// Computes the slice for verifying `inv` under `scenario`.
+///
+/// Returns the terminal set (hosts and middleboxes), sorted. The result
+/// always contains the invariant's endpoints; with `use_slices == false`
+/// callers should instead pass every terminal to the encoder.
+pub fn compute_slice(
+    net: &Network,
+    scenario: &FailureScenario,
+    inv: &Invariant,
+    policy: &PolicyClasses,
+) -> Result<Vec<NodeId>, NetError> {
+    let tf = TransferFunction::new(&net.topo, &net.tables, scenario);
+    let mut set: BTreeSet<NodeId> = inv.endpoints().into_iter().collect();
+
+    let mut changed = true;
+    let mut added_policy_reps = false;
+    while changed {
+        changed = false;
+
+        // Forwarding closure over every in-slice (source, destination
+        // address) pair.
+        let members: Vec<NodeId> = set.iter().copied().collect();
+        let mut dest_addrs: Vec<Address> = Vec::new();
+        for &n in &members {
+            dest_addrs.extend(net.topo.node(n).addresses.iter().copied());
+            if net.topo.node(n).kind.is_middlebox() {
+                dest_addrs.extend(net.model_referenced_addresses(n));
+            }
+        }
+        dest_addrs.sort();
+        dest_addrs.dedup();
+
+        for &from in &members {
+            if scenario.is_failed(from) {
+                continue;
+            }
+            for &a in &dest_addrs {
+                let (mboxes, end) = tf.terminal_path(from, a)?;
+                for m in mboxes {
+                    changed |= set.insert(m);
+                }
+                if let Some(t) = end {
+                    changed |= set.insert(t);
+                }
+            }
+        }
+
+        // Owners of middlebox-referenced addresses (LB backends, NAT
+        // external addresses) join the slice.
+        for &n in &members {
+            if !net.topo.node(n).kind.is_middlebox() {
+                continue;
+            }
+            for a in net.model_referenced_addresses(n) {
+                if let Some(owner) = net.topo.terminal_for_address(a) {
+                    changed |= set.insert(owner);
+                }
+            }
+        }
+
+        // Origin-agnostic middleboxes require a representative per policy
+        // equivalence class (done once; re-closure continues afterwards).
+        if !added_policy_reps {
+            let needs_reps = set.iter().any(|&n| {
+                net.topo.node(n).kind.is_middlebox()
+                    && !matches!(net.model(n).parallelism, Parallelism::FlowParallel)
+            });
+            if needs_reps {
+                added_policy_reps = true;
+                for rep in policy.representatives() {
+                    changed |= set.insert(rep);
+                }
+            }
+        }
+    }
+
+    Ok(set.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmn_mbox::models;
+    use vmn_net::{Prefix, RoutingConfig, Rule, Topology};
+
+    fn addr(s: &str) -> Address {
+        s.parse().unwrap()
+    }
+
+    fn px(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    /// Many host pairs, each pair isolated behind a shared firewall; a
+    /// slice for one pair must not include the others.
+    fn many_pairs(n: usize) -> (Network, Vec<(NodeId, NodeId)>) {
+        let mut topo = Topology::new();
+        let sw = topo.add_switch("sw");
+        let fw = topo.add_middlebox("fw", "stateful-firewall", vec![]);
+        topo.add_link(fw, sw);
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            let a = topo.add_host(format!("a{i}"), Address(0x0A000000 + i as u32 * 256 + 1));
+            let b = topo.add_host(format!("b{i}"), Address(0x0A000000 + i as u32 * 256 + 2));
+            topo.add_link(a, sw);
+            topo.add_link(b, sw);
+            pairs.push((a, b));
+        }
+        let mut rc = RoutingConfig::new();
+        rc.host_routes(&topo);
+        let mut tables = rc.build(&topo, &FailureScenario::none());
+        // Everything goes through the firewall once: packets arriving from
+        // any host are steered to fw; fw re-emissions go direct.
+        for &(a, b) in &pairs {
+            tables.add_rule(sw, Rule::from_neighbor(px("10.0.0.0/8"), a, fw).with_priority(10));
+            tables.add_rule(sw, Rule::from_neighbor(px("10.0.0.0/8"), b, fw).with_priority(10));
+        }
+        let mut net = Network::new(topo, tables);
+        net.set_model(
+            fw,
+            models::learning_firewall("stateful-firewall", vec![(px("10.0.0.0/8"), px("10.0.0.0/8"))]),
+        );
+        (net, pairs)
+    }
+
+    #[test]
+    fn slice_is_independent_of_network_size() {
+        for n in [2usize, 8, 32] {
+            let (net, pairs) = many_pairs(n);
+            let pc = PolicyClasses::from_groups(vec![]);
+            let inv = Invariant::NodeIsolation { src: pairs[0].0, dst: pairs[0].1 };
+            let slice =
+                compute_slice(&net, &FailureScenario::none(), &inv, &pc).unwrap();
+            // Slice = the two endpoints + the firewall, regardless of n.
+            assert_eq!(slice.len(), 3, "n={n}: slice {slice:?}");
+        }
+    }
+
+    #[test]
+    fn slice_contains_endpoints_and_path_mboxes() {
+        let (net, pairs) = many_pairs(4);
+        let pc = PolicyClasses::from_groups(vec![]);
+        let inv = Invariant::NodeIsolation { src: pairs[2].0, dst: pairs[2].1 };
+        let slice = compute_slice(&net, &FailureScenario::none(), &inv, &pc).unwrap();
+        assert!(slice.contains(&pairs[2].0));
+        assert!(slice.contains(&pairs[2].1));
+        let fw = net.topo.by_name("fw").unwrap();
+        assert!(slice.contains(&fw));
+    }
+
+    #[test]
+    fn origin_agnostic_boxes_pull_in_policy_reps() {
+        // A cache between clients and a server: slice must include one
+        // representative per policy class.
+        let mut topo = Topology::new();
+        let sw = topo.add_switch("sw");
+        let server = topo.add_host("server", addr("10.1.0.1"));
+        let c1 = topo.add_host("c1", addr("10.2.0.1"));
+        let c2 = topo.add_host("c2", addr("10.2.0.2"));
+        let other = topo.add_host("other", addr("10.3.0.1"));
+        let cache = topo.add_middlebox("cache", "content-cache", vec![]);
+        for n in [server, c1, c2, other, cache] {
+            topo.add_link(n, sw);
+        }
+        let mut rc = RoutingConfig::new();
+        rc.host_routes(&topo);
+        let mut tables = rc.build(&topo, &FailureScenario::none());
+        for h in [c1, c2, other] {
+            tables.add_rule(sw, Rule::from_neighbor(px("10.1.0.0/16"), h, cache).with_priority(10));
+        }
+        tables.add_rule(sw, Rule::from_neighbor(px("10.2.0.0/15"), server, cache).with_priority(10));
+        let mut net = Network::new(topo, tables);
+        net.set_model(cache, models::content_cache("content-cache", [px("10.1.0.0/16")], vec![]));
+
+        let pc = PolicyClasses::from_groups(vec![vec![c1, c2], vec![other], vec![server]]);
+        let inv = Invariant::DataIsolation { origin: server, dst: other };
+        let slice = compute_slice(&net, &FailureScenario::none(), &inv, &pc).unwrap();
+        // other + server (endpoints), cache (on path), plus a rep for the
+        // {c1, c2} class (c1).
+        assert!(slice.contains(&cache));
+        assert!(slice.contains(&c1), "needs a representative of the client class: {slice:?}");
+        assert!(!slice.contains(&c2), "one representative suffices: {slice:?}");
+    }
+}
