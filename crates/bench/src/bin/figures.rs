@@ -26,16 +26,25 @@ fn main() {
     }
     let run = |f: &str| which == "all" || which == f;
     if run("2") {
-        print_series("Figure 2: per-invariant time, datacenter misconfigurations", &figures::fig2(samples));
+        print_series(
+            "Figure 2: per-invariant time, datacenter misconfigurations",
+            &figures::fig2(samples),
+        );
     }
     if run("3") {
         print_series("Figure 3: all invariants vs policy complexity", &figures::fig3(samples));
     }
     if run("4") {
-        print_series("Figure 4: data-isolation per-invariant time vs policy complexity", &figures::fig4(samples));
+        print_series(
+            "Figure 4: data-isolation per-invariant time vs policy complexity",
+            &figures::fig4(samples),
+        );
     }
     if run("5") {
-        print_series("Figure 5: all data-isolation invariants vs policy complexity", &figures::fig5(samples));
+        print_series(
+            "Figure 5: all data-isolation invariants vs policy complexity",
+            &figures::fig5(samples),
+        );
     }
     if run("7") {
         print_series("Figure 7: enterprise — slice vs whole network", &figures::fig7(samples));
@@ -44,12 +53,21 @@ fn main() {
         print_series("Figure 8: multi-tenant — slice vs whole network", &figures::fig8(samples));
     }
     if run("9b") {
-        print_series("Figure 9(b): ISP — slice vs whole network (subnets)", &figures::fig9b(samples));
+        print_series(
+            "Figure 9(b): ISP — slice vs whole network (subnets)",
+            &figures::fig9b(samples),
+        );
     }
     if run("9c") {
-        print_series("Figure 9(c): ISP — slice vs whole network (peering points)", &figures::fig9c(samples));
+        print_series(
+            "Figure 9(c): ISP — slice vs whole network (peering points)",
+            &figures::fig9c(samples),
+        );
     }
     if run("ablation") {
-        print_series("Ablation: slices and symmetry toggled independently", &figures::ablation(samples));
+        print_series(
+            "Ablation: slices and symmetry toggled independently",
+            &figures::ablation(samples),
+        );
     }
 }

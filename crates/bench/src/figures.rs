@@ -172,16 +172,13 @@ pub fn fig5(samples: usize) -> Vec<Series> {
 /// size independent) versus on the whole network at increasing size, for
 /// the three subnet kinds.
 pub fn fig7(samples: usize) -> Vec<Series> {
-    let kinds =
-        [SubnetKind::Public, SubnetKind::Private, SubnetKind::Quarantined];
+    let kinds = [SubnetKind::Public, SubnetKind::Private, SubnetKind::Quarantined];
     let mut out = Vec::new();
     for kind in kinds {
         let mut series = Series::new(format!("{kind:?}"));
         // Slice point (network size is irrelevant by construction).
-        let e = Enterprise::build(EnterpriseParams {
-            subnets: FIG7_SUBNETS[0],
-            hosts_per_subnet: 2,
-        });
+        let e =
+            Enterprise::build(EnterpriseParams { subnets: FIG7_SUBNETS[0], hosts_per_subnet: 2 });
         let mut p = Point::new("slice");
         let (d, _) = time_verify(&e.net, &sliced(e.policy_hint()), &e.invariant_for(kind), samples);
         p.samples = d;
@@ -212,10 +209,8 @@ pub fn fig8(samples: usize) -> Vec<Series> {
     let mut out = Vec::new();
     for (label, mk) in fams {
         let mut series = Series::new(label);
-        let m = MultiTenant::build(MultiTenantParams {
-            tenants: FIG8_TENANTS[0],
-            vms_per_group: 3,
-        });
+        let m =
+            MultiTenant::build(MultiTenantParams { tenants: FIG8_TENANTS[0], vms_per_group: 3 });
         let mut p = Point::new("slice");
         let (d, _) = time_verify(&m.net, &sliced(m.policy_hint()), &mk(&m), samples);
         p.samples = d;
@@ -243,7 +238,8 @@ pub fn fig9b(samples: usize) -> Vec<Series> {
         attacked_subnet: 1,
     });
     let mut p = Point::new("slice");
-    let (d, _) = time_verify(&isp.net, &sliced(isp.policy_hint()), &isp.invariant_for(1, 1), samples);
+    let (d, _) =
+        time_verify(&isp.net, &sliced(isp.policy_hint()), &isp.invariant_for(1, 1), samples);
     p.samples = d;
     series.points.push(p);
     for &subnets in FIG9B_SUBNETS {
@@ -273,7 +269,8 @@ pub fn fig9c(samples: usize) -> Vec<Series> {
         attacked_subnet: 1,
     });
     let mut p = Point::new("slice");
-    let (d, _) = time_verify(&isp.net, &sliced(isp.policy_hint()), &isp.invariant_for(1, 0), samples);
+    let (d, _) =
+        time_verify(&isp.net, &sliced(isp.policy_hint()), &isp.invariant_for(1, 0), samples);
     p.samples = d;
     series.points.push(p);
     for &peers in FIG9C_PEERS {

@@ -29,7 +29,7 @@
 use std::collections::HashMap;
 use vmn::{Invariant, Network};
 use vmn_mbox::models;
-use vmn_net::{Address, FailureScenario, NodeId, Prefix, Rule, RoutingConfig, Topology};
+use vmn_net::{Address, FailureScenario, NodeId, Prefix, RoutingConfig, Rule, Topology};
 
 /// A parsed configuration: the network plus the invariants to verify.
 pub struct Config {
@@ -240,9 +240,7 @@ fn two(line: usize, rest: &[String], usage: &str) -> Result<[String; 2], ParseEr
 fn parse_prio(line: usize, rest: &[String]) -> Result<i32, ParseError> {
     match rest {
         [] => Ok(0),
-        [kw, n] if kw == "prio" => {
-            n.parse().map_err(|_| err(line, format!("bad priority {n:?}")))
-        }
+        [kw, n] if kw == "prio" => n.parse().map_err(|_| err(line, format!("bad priority {n:?}"))),
         _ => Err(err(line, "expected `prio N` or nothing")),
     }
 }
@@ -332,8 +330,7 @@ fn build_model(
                 if t.is_empty() {
                     continue;
                 }
-                servers
-                    .push(t.parse().map_err(|e| err(line, format!("bad prefix {t:?}: {e}")))?);
+                servers.push(t.parse().map_err(|e| err(line, format!("bad prefix {t:?}: {e}")))?);
             }
             let deny = match deny_at {
                 Some(i) => parse_pairs(line, &args[i + 1..])?,
@@ -350,16 +347,15 @@ fn build_model(
             let vip = find("vip")
                 .and_then(|i| args.get(i + 1))
                 .ok_or_else(|| err(line, "lb needs `vip <address>`"))?;
-            let backends_at = find("backends")
-                .ok_or_else(|| err(line, "lb needs `backends <a>,<b>…`"))?;
+            let backends_at =
+                find("backends").ok_or_else(|| err(line, "lb needs `backends <a>,<b>…`"))?;
             let mut backends = Vec::new();
             for t in args[backends_at + 1..].join(" ").split(',') {
                 let t = t.trim();
                 if t.is_empty() {
                     continue;
                 }
-                backends
-                    .push(t.parse().map_err(|e| err(line, format!("bad address {t:?}: {e}")))?);
+                backends.push(t.parse().map_err(|e| err(line, format!("bad address {t:?}: {e}")))?);
             }
             Ok(models::load_balancer(
                 kind,

@@ -36,10 +36,16 @@ fn main() -> ExitCode {
         Some("check") => {}
         _ => return usage(),
     }
-    for a in it {
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--whole-network" => whole = true,
             "--trace" => trace = true,
+            "--threads" => {
+                threads = match it.next().map(|n| n.parse()) {
+                    Some(Ok(n)) => n,
+                    _ => return usage(),
+                }
+            }
             s if s.starts_with("--threads=") => {
                 threads = match s["--threads=".len()..].parse() {
                     Ok(n) => n,

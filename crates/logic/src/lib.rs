@@ -352,8 +352,7 @@ impl<A: Clone + Eq + Hash> Grounder<A> {
     where
         V: FnMut(&mut TermPool, &A, usize) -> TermId,
     {
-        let parts: Vec<TermId> =
-            (0..len).map(|t| self.ground(builder, pool, f, t, atom)).collect();
+        let parts: Vec<TermId> = (0..len).map(|t| self.ground(builder, pool, f, t, atom)).collect();
         pool.and(&parts)
     }
 }

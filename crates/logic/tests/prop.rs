@@ -27,8 +27,7 @@ fn formula() -> impl Strategy<Value = F> {
             inner.clone().prop_map(|f| F::Not(Box::new(f))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| F::And(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| F::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| F::Implies(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::Implies(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|f| F::Once(Box::new(f))),
             inner.clone().prop_map(|f| F::Earlier(Box::new(f))),
             inner.clone().prop_map(|f| F::Historically(Box::new(f))),

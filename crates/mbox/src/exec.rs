@@ -226,10 +226,8 @@ where
             FailMode::Open => ProcessOutcome { matched_rule: None, emitted: Some(input) },
         };
     }
-    let matched = model
-        .rules
-        .iter()
-        .position(|r| eval_guard(model, state, &r.guard, &input, oracle));
+    let matched =
+        model.rules.iter().position(|r| eval_guard(model, state, &r.guard, &input, oracle));
     let Some(idx) = matched else {
         return ProcessOutcome::dropped();
     };
@@ -397,8 +395,7 @@ mod tests {
         let r = process(&lb, &mut st, false, h, &mut no_oracle, &mut ch);
         assert_eq!(r.emitted.unwrap().dst, b1);
 
-        let mut scripted =
-            ScriptedChooser { picks: vec![1], ..ScriptedChooser::default() };
+        let mut scripted = ScriptedChooser { picks: vec![1], ..ScriptedChooser::default() };
         let r = process(&lb, &mut st, false, h, &mut no_oracle, &mut scripted);
         assert_eq!(r.emitted.unwrap().dst, b2);
 

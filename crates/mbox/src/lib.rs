@@ -119,7 +119,10 @@ pub enum Guard {
     AclMatch(String),
     /// The named state set contains the key computed by `key` from the
     /// *current* (possibly rewritten) packet.
-    StateContains { state: String, key: KeyExpr },
+    StateContains {
+        state: String,
+        key: KeyExpr,
+    },
     /// The named classification oracle says yes for this packet.
     Oracle(String),
 }
@@ -269,11 +272,7 @@ impl MboxModel {
         self
     }
 
-    pub fn acl(
-        mut self,
-        name: impl Into<String>,
-        pairs: Vec<(Prefix, Prefix)>,
-    ) -> MboxModel {
+    pub fn acl(mut self, name: impl Into<String>, pairs: Vec<(Prefix, Prefix)>) -> MboxModel {
         self.acls.push((name.into(), pairs));
         self
     }
@@ -375,11 +374,23 @@ fn collect_acl_refs<'a>(g: &'a Guard, out: &mut Vec<&'a str>) {
 /// Validation errors for middlebox models.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ModelError {
-    UnknownState { rule: usize, name: String },
-    UnknownOracle { rule: usize, name: String },
-    UnknownAcl { rule: usize, name: String },
+    UnknownState {
+        rule: usize,
+        name: String,
+    },
+    UnknownOracle {
+        rule: usize,
+        name: String,
+    },
+    UnknownAcl {
+        rule: usize,
+        name: String,
+    },
     /// Every rule must emit exactly once (Forward, Drop, or Respond).
-    BadEmitCount { rule: usize, emits: usize },
+    BadEmitCount {
+        rule: usize,
+        emits: usize,
+    },
 }
 
 impl fmt::Display for ModelError {

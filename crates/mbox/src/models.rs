@@ -150,8 +150,7 @@ pub fn content_cache(
     servers: impl IntoIterator<Item = Prefix>,
     deny: Vec<(Prefix, Prefix)>,
 ) -> MboxModel {
-    let from_servers =
-        Guard::or(servers.into_iter().map(Guard::SrcIn).collect::<Vec<_>>());
+    let from_servers = Guard::or(servers.into_iter().map(Guard::SrcIn).collect::<Vec<_>>());
     MboxModel::new(name)
         .fail_mode(FailMode::Open)
         .parallelism(Parallelism::OriginAgnostic)
@@ -174,9 +173,8 @@ pub fn content_cache(
 /// (e.g. `skype?`). All application oracles are declared mutually
 /// exclusive — the §3.4 example of an output constraint.
 pub fn application_firewall(name: &str, deny_apps: &[&str], all_apps: &[&str]) -> MboxModel {
-    let mut m = MboxModel::new(name)
-        .fail_mode(FailMode::Closed)
-        .parallelism(Parallelism::FlowParallel);
+    let mut m =
+        MboxModel::new(name).fail_mode(FailMode::Closed).parallelism(Parallelism::FlowParallel);
     for app in all_apps {
         m = m.oracle(*app);
     }
@@ -252,10 +250,7 @@ mod tests {
 
     #[test]
     fn parallelism_classes_match_paper() {
-        assert_eq!(
-            learning_firewall("f", vec![]).parallelism,
-            Parallelism::FlowParallel
-        );
+        assert_eq!(learning_firewall("f", vec![]).parallelism, Parallelism::FlowParallel);
         assert_eq!(
             content_cache("c", [px("10.0.0.0/8")], vec![]).parallelism,
             Parallelism::OriginAgnostic

@@ -7,9 +7,8 @@ use vmn_mbox::models;
 use vmn_net::{Address, Header, Prefix};
 
 fn arb_header() -> impl Strategy<Value = Header> {
-    (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>()).prop_map(|(s, d, sp, dp)| {
-        Header::tcp(Address(s), sp, Address(d), dp)
-    })
+    (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>())
+        .prop_map(|(s, d, sp, dp)| Header::tcp(Address(s), sp, Address(d), dp))
 }
 
 fn no_oracle(_: &str, _: &Header) -> bool {

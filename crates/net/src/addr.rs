@@ -63,8 +63,7 @@ impl FromStr for Address {
         }
         let mut octets = [0u8; 4];
         for (i, p) in parts.iter().enumerate() {
-            octets[i] =
-                p.parse().map_err(|_| ParseError(format!("bad octet {p:?} in {s:?}")))?;
+            octets[i] = p.parse().map_err(|_| ParseError(format!("bad octet {p:?} in {s:?}")))?;
         }
         Ok(Address::from_octets(octets))
     }
@@ -147,8 +146,7 @@ impl Prefix {
             // the sibling half is part of the complement.
             let bit = 1u32 << (32 - child_len);
             let inner_in_upper = inner.addr.0 & bit != 0;
-            let sibling_addr =
-                if inner_in_upper { cur.addr.0 } else { cur.addr.0 | bit };
+            let sibling_addr = if inner_in_upper { cur.addr.0 } else { cur.addr.0 | bit };
             out.push(Prefix::new(Address(sibling_addr), child_len));
             let next_addr = if inner_in_upper { cur.addr.0 | bit } else { cur.addr.0 };
             cur = Prefix::new(Address(next_addr), child_len);

@@ -106,11 +106,8 @@ impl ForwardingTables {
         dst: Address,
         from: NodeId,
     ) -> Option<NodeId> {
-        let mut candidates: Vec<&Rule> = self
-            .rules(switch)
-            .iter()
-            .filter(|r| r.matches(dst, from))
-            .collect();
+        let mut candidates: Vec<&Rule> =
+            self.rules(switch).iter().filter(|r| r.matches(dst, from)).collect();
         candidates.sort_by(|a, b| b.rank().cmp(&a.rank()));
         for rule in candidates {
             let next = rule.next;

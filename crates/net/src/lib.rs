@@ -32,7 +32,7 @@ pub mod transfer;
 
 pub use addr::{Address, Prefix, Protocol};
 pub use error::NetError;
-pub use fwd::{ForwardingTables, Rule, RoutingConfig};
+pub use fwd::{ForwardingTables, RoutingConfig, Rule};
 pub use header::{FlowId, Header};
 pub use pipeline::{PipelineDag, PipelineSpec, PipelineViolation, PortClass};
 pub use topology::{FailureScenario, Link, Node, NodeId, NodeKind, Topology};

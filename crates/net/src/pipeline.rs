@@ -44,8 +44,7 @@ impl PipelineSpec {
         let Some(end) = end else {
             return Ok(Ok(())); // dropped traffic trivially satisfies the pipeline
         };
-        let types: Vec<&str> =
-            mboxes.iter().filter_map(|&m| tf.topo.mbox_type(m)).collect();
+        let types: Vec<&str> = mboxes.iter().filter_map(|&m| tf.topo.mbox_type(m)).collect();
         let mut want = self.required.iter();
         let mut next = want.next();
         for ty in &types {

@@ -222,32 +222,26 @@ impl Topology {
     }
 
     pub fn hosts(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes()
-            .filter(|(_, n)| n.kind.is_host())
-            .map(|(id, _)| id)
+        self.nodes().filter(|(_, n)| n.kind.is_host()).map(|(id, _)| id)
     }
 
     pub fn middleboxes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes()
-            .filter(|(_, n)| n.kind.is_middlebox())
-            .map(|(id, _)| id)
+        self.nodes().filter(|(_, n)| n.kind.is_middlebox()).map(|(id, _)| id)
     }
 
     pub fn terminals(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes()
-            .filter(|(_, n)| n.kind.is_terminal())
-            .map(|(id, _)| id)
+        self.nodes().filter(|(_, n)| n.kind.is_terminal()).map(|(id, _)| id)
     }
 
     pub fn switches(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes()
-            .filter(|(_, n)| matches!(n.kind, NodeKind::Switch))
-            .map(|(id, _)| id)
+        self.nodes().filter(|(_, n)| matches!(n.kind, NodeKind::Switch)).map(|(id, _)| id)
     }
 
     /// The terminal that owns `addr`, if any.
     pub fn terminal_for_address(&self, addr: Address) -> Option<NodeId> {
-        self.nodes().find(|(_, n)| n.kind.is_terminal() && n.addresses.contains(&addr)).map(|(id, _)| id)
+        self.nodes()
+            .find(|(_, n)| n.kind.is_terminal() && n.addresses.contains(&addr))
+            .map(|(id, _)| id)
     }
 
     /// The middlebox type tag of a node, if it is a middlebox.

@@ -199,7 +199,7 @@ impl HeaderClasses {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fwd::{Rule, RoutingConfig};
+    use crate::fwd::{RoutingConfig, Rule};
 
     fn addr(s: &str) -> Address {
         s.parse().unwrap()

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use vmn_net::{
-    Address, FailureScenario, ForwardingTables, HeaderClasses, Prefix, Rule, RoutingConfig,
+    Address, FailureScenario, ForwardingTables, HeaderClasses, Prefix, RoutingConfig, Rule,
     Topology, TransferFunction,
 };
 

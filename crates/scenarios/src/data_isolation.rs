@@ -103,7 +103,8 @@ impl DataIsolation {
             topo.add_link(stor, agg_s);
             let priv_srv = topo.add_host(format!("priv{g}"), Self::private_addr(g));
             let pub_srv = topo.add_host(format!("pub{g}"), Self::public_addr(g));
-            for (srv, addr) in [(priv_srv, Self::private_addr(g)), (pub_srv, Self::public_addr(g))] {
+            for (srv, addr) in [(priv_srv, Self::private_addr(g)), (pub_srv, Self::public_addr(g))]
+            {
                 topo.add_link(srv, stor);
                 tables.add_rule(stor, Rule::from_neighbor(Prefix::host(addr), agg_s, srv));
                 tables.add_rule(stor, Rule::from_neighbor(all, srv, agg_s).with_priority(10));
@@ -202,10 +203,7 @@ impl DataIsolation {
     /// The data-isolation invariant: group `g`'s private data must not
     /// reach a client of group `other`.
     pub fn private_isolation(&self, g: usize, other: usize) -> Invariant {
-        Invariant::DataIsolation {
-            origin: self.private_servers[g],
-            dst: self.clients[other][0],
-        }
+        Invariant::DataIsolation { origin: self.private_servers[g], dst: self.clients[other][0] }
     }
 
     /// All per-group data-isolation invariants (each against the next

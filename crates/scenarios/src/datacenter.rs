@@ -107,10 +107,14 @@ impl Datacenter {
                 let hp = Prefix::host(addr);
                 tor_rules.push((tor, Rule::from_neighbor(hp, agg1, host)));
                 tor_rules.push((tor, Rule::from_neighbor(hp, agg2, host)));
-                tor_rules
-                    .push((tor, Rule::from_neighbor(Prefix::default_route(), host, agg1).with_priority(20)));
-                tor_rules
-                    .push((tor, Rule::from_neighbor(Prefix::default_route(), host, agg2).with_priority(10)));
+                tor_rules.push((
+                    tor,
+                    Rule::from_neighbor(Prefix::default_route(), host, agg1).with_priority(20),
+                ));
+                tor_rules.push((
+                    tor,
+                    Rule::from_neighbor(Prefix::default_route(), host, agg2).with_priority(10),
+                ));
             }
             tors.push(tor);
         }
@@ -144,7 +148,8 @@ impl Datacenter {
             }
             // …and IDPS re-emissions fall through to the base rack rules.
             // The load balancer VIP is reachable from anywhere.
-            tables.add_rule(agg, Rule::new(Prefix::host(infra_addr(0, 100)), lb1).with_priority(30));
+            tables
+                .add_rule(agg, Rule::new(Prefix::host(infra_addr(0, 100)), lb1).with_priority(30));
         }
 
         let mut net = Network::new(topo, tables);
@@ -192,10 +197,7 @@ impl Datacenter {
 
     /// The isolation invariant for a specific (src-group, dst-group) pair.
     pub fn pair_isolation(&self, src_group: usize, dst_group: usize) -> Invariant {
-        Invariant::NodeIsolation {
-            src: self.groups[src_group][0],
-            dst: self.groups[dst_group][0],
-        }
+        Invariant::NodeIsolation { src: self.groups[src_group][0], dst: self.groups[dst_group][0] }
     }
 
     /// One IDPS-traversal invariant per policy group (intra-group traffic
@@ -215,7 +217,11 @@ impl Datacenter {
     /// default-allow firewall; with our default-deny allow-list model the
     /// equivalent error is an injected allow entry — the observable effect,
     /// forbidden cross-group reachability, is identical.)
-    pub fn inject_rule_misconfig<R: Rng>(&mut self, rng: &mut R, count: usize) -> Vec<(usize, usize)> {
+    pub fn inject_rule_misconfig<R: Rng>(
+        &mut self,
+        rng: &mut R,
+        count: usize,
+    ) -> Vec<(usize, usize)> {
         let pairs = self.sample_cross_pairs(rng, count);
         for &(a, b) in &pairs {
             for fw in [Some(self.fw1), self.fw2].into_iter().flatten() {
@@ -253,9 +259,8 @@ impl Datacenter {
 
     fn sample_cross_pairs<R: Rng>(&self, rng: &mut R, count: usize) -> Vec<(usize, usize)> {
         let g = self.groups.len();
-        let mut all: Vec<(usize, usize)> = (0..g)
-            .flat_map(|a| (0..g).filter(move |&b| b != a).map(move |b| (a, b)))
-            .collect();
+        let mut all: Vec<(usize, usize)> =
+            (0..g).flat_map(|a| (0..g).filter(move |&b| b != a).map(move |b| (a, b))).collect();
         all.shuffle(rng);
         all.truncate(count.min(all.len()));
         all

@@ -106,8 +106,10 @@ impl Enterprise {
             let sw = topo.by_name(&format!("subnet{s}")).unwrap();
             tables.add_rule(inner, Rule::from_neighbor(all, sw, gw).with_priority(20));
         }
-        tables
-            .add_rule(inner, Rule::from_neighbor(Prefix::host(external_addr(0, 1)), gw, fw).with_priority(15));
+        tables.add_rule(
+            inner,
+            Rule::from_neighbor(Prefix::host(external_addr(0, 1)), gw, fw).with_priority(15),
+        );
 
         let mut net = Network::new(topo, tables);
         // Firewall ACL per §5.3.1: public subnets two-way, private

@@ -125,7 +125,8 @@ impl Isp {
         // not recaptured.
         for p in 0..params.peering_points {
             let psw = topo.by_name(&format!("peering{p}")).unwrap();
-            tables.add_rule(backbone, Rule::from_neighbor(attacked, psw, scrubber).with_priority(20));
+            tables
+                .add_rule(backbone, Rule::from_neighbor(attacked, psw, scrubber).with_priority(20));
         }
         if params.scrubber_behind_firewall {
             // Correct configuration: scrubbed traffic re-enters through
@@ -174,8 +175,7 @@ impl Isp {
             };
             by_kind[idx].push(*host);
         }
-        let mut out: Vec<Vec<NodeId>> =
-            by_kind.into_iter().filter(|v| !v.is_empty()).collect();
+        let mut out: Vec<Vec<NodeId>> = by_kind.into_iter().filter(|v| !v.is_empty()).collect();
         out.push(self.peers.clone());
         out
     }
@@ -186,9 +186,7 @@ impl Isp {
         match kind {
             SubnetKind::Public => Invariant::NodeIsolation { src: self.peers[p], dst: host },
             SubnetKind::Private => Invariant::FlowIsolation { src: self.peers[p], dst: host },
-            SubnetKind::Quarantined => {
-                Invariant::NodeIsolation { src: self.peers[p], dst: host }
-            }
+            SubnetKind::Quarantined => Invariant::NodeIsolation { src: self.peers[p], dst: host },
         }
     }
 
@@ -257,10 +255,7 @@ mod tests {
         });
         let v = Verifier::new(&isp.net, opts(&isp)).unwrap();
         let rep = v.verify(&isp.invariant_for(1, 1)).unwrap();
-        assert!(
-            !rep.verdict.holds(),
-            "rerouted traffic bypassing the firewalls must be detected"
-        );
+        assert!(!rep.verdict.holds(), "rerouted traffic bypassing the firewalls must be detected");
     }
 
     #[test]

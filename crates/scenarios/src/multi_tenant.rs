@@ -90,7 +90,10 @@ impl MultiTenant {
                 // Delivery rules: only the security group may deliver to a
                 // VM; VM uplinks go to the security group first.
                 for (addr, vm) in [(pa, pv), (qa, qv)] {
-                    tables.add_rule(tor, Rule::from_neighbor(Prefix::host(addr), sg, vm).with_priority(30));
+                    tables.add_rule(
+                        tor,
+                        Rule::from_neighbor(Prefix::host(addr), sg, vm).with_priority(30),
+                    );
                     tables.add_rule(tor, Rule::from_neighbor(all, vm, sg).with_priority(20));
                 }
             }

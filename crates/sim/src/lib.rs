@@ -202,10 +202,8 @@ impl<'a> Simulator<'a> {
     /// `max_steps` to guard against middlebox-level ping-pong).
     pub fn run_to_quiescence(&mut self, max_steps: usize) -> Result<(), NetError> {
         for _ in 0..max_steps {
-            let Some(m) = self
-                .topo
-                .middleboxes()
-                .find(|m| self.queues.get(m).is_some_and(|q| !q.is_empty()))
+            let Some(m) =
+                self.topo.middleboxes().find(|m| self.queues.get(m).is_some_and(|q| !q.is_empty()))
             else {
                 return Ok(());
             };
@@ -235,7 +233,7 @@ impl<'a> Simulator<'a> {
 mod tests {
     use super::*;
     use vmn_mbox::models;
-    use vmn_net::{Address, Prefix, Rule, RoutingConfig};
+    use vmn_net::{Address, Prefix, RoutingConfig, Rule};
 
     fn addr(s: &str) -> Address {
         s.parse().unwrap()
@@ -415,8 +413,11 @@ mod more_tests {
         rc.host_routes(&topo);
         let mut tables = rc.build(&topo, &FailureScenario::none());
         tables.add_rule(sw, Rule::new(px("10.0.0.100/32"), lb).with_priority(10));
-        let model =
-            models::load_balancer("lb", addr("10.0.0.100"), vec![addr("10.0.0.1"), addr("10.0.0.2")]);
+        let model = models::load_balancer(
+            "lb",
+            addr("10.0.0.100"),
+            vec![addr("10.0.0.1"), addr("10.0.0.2")],
+        );
         let models: Map<NodeId, &vmn_mbox::MboxModel> = Map::from([(lb, &model)]);
         let mut sim = Simulator::new(&topo, &tables, FailureScenario::none(), models)
             .with_chooser(AlternatingChooser(0));
@@ -470,8 +471,11 @@ mod more_tests {
         let model = models::gateway("gateway");
         let models: Map<NodeId, &vmn_mbox::MboxModel> = Map::from([(g1, &model)]);
         let mut sim = Simulator::new(&topo, &tables, FailureScenario::none(), models);
-        sim.exec(&SimOp::Send { host: a, header: Header::tcp(addr("1.1.1.1"), 1, addr("2.2.2.2"), 80) })
-            .unwrap();
+        sim.exec(&SimOp::Send {
+            host: a,
+            header: Header::tcp(addr("1.1.1.1"), 1, addr("2.2.2.2"), 80),
+        })
+        .unwrap();
         // Zero budget: the queued packet stays queued, no error.
         sim.run_to_quiescence(0).unwrap();
         assert_eq!(sim.pending(g1), 1);

@@ -27,7 +27,14 @@ impl<'a> Blaster<'a> {
     pub fn new(pool: &'a TermPool, solver: &'a mut Solver, euf: &'a mut Euf) -> Blaster<'a> {
         let true_lit = Lit::pos(solver.new_var());
         solver.add_clause(&[true_lit]);
-        Blaster { pool, solver, euf, bool_cache: HashMap::new(), bv_cache: HashMap::new(), true_lit }
+        Blaster {
+            pool,
+            solver,
+            euf,
+            bool_cache: HashMap::new(),
+            bv_cache: HashMap::new(),
+            true_lit,
+        }
     }
 
     pub fn true_lit(&self) -> Lit {
@@ -169,11 +176,8 @@ impl<'a> Blaster<'a> {
                 Sort::BitVec(_) => {
                     let ba = self.bits_of(a);
                     let bb = self.bits_of(b);
-                    let eqs: Vec<Lit> = ba
-                        .iter()
-                        .zip(bb.iter())
-                        .map(|(&x, &y)| self.iff_lit(x, y))
-                        .collect();
+                    let eqs: Vec<Lit> =
+                        ba.iter().zip(bb.iter()).map(|(&x, &y)| self.iff_lit(x, y)).collect();
                     self.and_lits(&eqs)
                 }
                 Sort::Atom(_) => {
@@ -225,9 +229,9 @@ impl<'a> Blaster<'a> {
         }
         let width = self.pool.sort(t).bv_width().expect("bits_of on non-bit-vector term");
         let bits = match self.pool.term(t).clone() {
-            Term::BvConst { value, .. } => (0..width)
-                .map(|i| self.const_lit((value >> i) & 1 == 1))
-                .collect::<Vec<_>>(),
+            Term::BvConst { value, .. } => {
+                (0..width).map(|i| self.const_lit((value >> i) & 1 == 1)).collect::<Vec<_>>()
+            }
             Term::Var { .. } => (0..width).map(|_| self.fresh()).collect(),
             Term::Ite { cond, then, els } => {
                 let c = self.lit_of(cond);

@@ -149,8 +149,7 @@ impl Euf {
         let n = match pool.term(t).clone() {
             Term::Var { .. } => self.fresh_node(Some(t), None),
             Term::Apply { func, args } => {
-                let child_nodes: Vec<NodeId> =
-                    args.iter().map(|&a| self.node(pool, a)).collect();
+                let child_nodes: Vec<NodeId> = args.iter().map(|&a| self.node(pool, a)).collect();
                 let n = self.fresh_node(Some(t), Some((func, child_nodes.clone())));
                 for &c in &child_nodes {
                     let rc = self.find(c);
@@ -267,8 +266,7 @@ impl Euf {
 
     fn explain_to_ancestor(&self, mut n: NodeId, ancestor: NodeId, out: &mut Vec<Lit>) {
         while n != ancestor {
-            let (next, reason) =
-                self.proof[n.index()].expect("path to ancestor exists");
+            let (next, reason) = self.proof[n.index()].expect("path to ancestor exists");
             match reason {
                 Reason::Asserted(l) => out.push(l),
                 Reason::Congruence(u, v) => {
@@ -298,11 +296,8 @@ impl Euf {
                 continue;
             }
             // Orient by rank: merge the lower-rank class into the other.
-            let (child_rep, parent_rep) = if self.rank[ra.index()] <= self.rank[rb.index()] {
-                (ra, rb)
-            } else {
-                (rb, ra)
-            };
+            let (child_rep, parent_rep) =
+                if self.rank[ra.index()] <= self.rank[rb.index()] { (ra, rb) } else { (rb, ra) };
             // Conflict check: any disequality between the two classes?
             let conflict_diseq = self.diseqs[child_rep.index()].iter().copied().find(|d| {
                 let da = self.find(d.a);
@@ -350,10 +345,8 @@ impl Euf {
 
             // Congruence: rehash every application that uses the child class.
             let used = self.uses[child_rep.index()].clone();
-            self.trail.push(Undo::UsesLen {
-                node: parent_rep,
-                len: self.uses[parent_rep.index()].len(),
-            });
+            self.trail
+                .push(Undo::UsesLen { node: parent_rep, len: self.uses[parent_rep.index()].len() });
             for u in used {
                 let (f, args) = self.nodes[u.index()].app.clone().expect("use-list holds applies");
                 let sig: Sig = (f, args.iter().map(|&c| self.find(c)).collect());
@@ -627,8 +620,7 @@ mod tests {
         let mut h = Harness::new();
         let xs: Vec<TermId> = (0..6).map(|i| h.const_(&format!("x{i}"))).collect();
         // Chain x0=x1=...=x5 optionally, with x0≠x5 forced.
-        let chain: Vec<Lit> =
-            (0..5).map(|i| h.eq_lit(xs[i], xs[i + 1])).collect();
+        let chain: Vec<Lit> = (0..5).map(|i| h.eq_lit(xs[i], xs[i + 1])).collect();
         let ends = h.eq_lit(xs[0], xs[5]);
         h.assert_true(!ends);
         // At least 4 of the chain links must hold — SAT (break one link).

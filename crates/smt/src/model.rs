@@ -83,12 +83,8 @@ impl Model {
             Term::Not(a) => Value::Bool(!self.eval_bool(pool, a)),
             Term::And(xs) => Value::Bool(xs.iter().all(|&x| self.eval_bool(pool, x))),
             Term::Or(xs) => Value::Bool(xs.iter().any(|&x| self.eval_bool(pool, x))),
-            Term::Iff(a, b) => {
-                Value::Bool(self.eval_bool(pool, a) == self.eval_bool(pool, b))
-            }
-            Term::Implies(a, b) => {
-                Value::Bool(!self.eval_bool(pool, a) || self.eval_bool(pool, b))
-            }
+            Term::Iff(a, b) => Value::Bool(self.eval_bool(pool, a) == self.eval_bool(pool, b)),
+            Term::Implies(a, b) => Value::Bool(!self.eval_bool(pool, a) || self.eval_bool(pool, b)),
             Term::Eq(a, b) => Value::Bool(self.eval(pool, a) == self.eval(pool, b)),
             Term::Ite { cond, then, els } => {
                 if self.eval_bool(pool, cond) {
@@ -143,10 +139,7 @@ mod tests {
     fn recursive_eval_of_unseen_terms() {
         let mut pool = TermPool::new();
         let x = pool.var("x", Sort::bitvec(8));
-        let mut m = Model::new(
-            [(x, Value::Bv(0xAB))].into_iter().collect(),
-            0,
-        );
+        let mut m = Model::new([(x, Value::Bv(0xAB))].into_iter().collect(), 0);
         let hi = pool.bv_extract(x, 7, 4);
         assert_eq!(m.eval(&pool, hi), Value::Bv(0xA));
         let c = pool.bv_const(0xAB, 8);

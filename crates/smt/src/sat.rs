@@ -605,11 +605,8 @@ impl Solver {
         learnt[0] = !p.expect("found UIP");
 
         // Conflict-clause minimisation: drop literals implied by the rest.
-        let keep: Vec<bool> = learnt
-            .iter()
-            .enumerate()
-            .map(|(i, &l)| i == 0 || !self.redundant(l))
-            .collect();
+        let keep: Vec<bool> =
+            learnt.iter().enumerate().map(|(i, &l)| i == 0 || !self.redundant(l)).collect();
         let mut out: Vec<Lit> = learnt
             .iter()
             .zip(&keep)
@@ -641,10 +638,9 @@ impl Solver {
         let v = l.var();
         match self.reason[v.index()] {
             None => false,
-            Some(cref) => self.clauses[cref.0 as usize]
-                .lits
-                .iter()
-                .all(|&q| q.var() == v || self.seen[q.var().index()] || self.level[q.var().index()] == 0),
+            Some(cref) => self.clauses[cref.0 as usize].lits.iter().all(|&q| {
+                q.var() == v || self.seen[q.var().index()] || self.level[q.var().index()] == 0
+            }),
         }
     }
 

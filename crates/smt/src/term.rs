@@ -45,9 +45,16 @@ pub enum Term {
     /// Boolean constant.
     Bool(bool),
     /// Bit-vector constant of the given width (value in low bits).
-    BvConst { value: u64, width: u32 },
+    BvConst {
+        value: u64,
+        width: u32,
+    },
     /// Free variable / uninterpreted constant.
-    Var { name: String, sort: Sort, id: u32 },
+    Var {
+        name: String,
+        sort: Sort,
+        id: u32,
+    },
     Not(TermId),
     And(Vec<TermId>),
     Or(Vec<TermId>),
@@ -57,15 +64,26 @@ pub enum Term {
     /// Equality; operands share any non-Bool sort.
     Eq(TermId, TermId),
     /// If-then-else over booleans or bit-vectors.
-    Ite { cond: TermId, then: TermId, els: TermId },
+    Ite {
+        cond: TermId,
+        then: TermId,
+        els: TermId,
+    },
     /// Unsigned `a <= b` on bit-vectors of equal width.
     BvUle(TermId, TermId),
     /// Bits `hi..=lo` of a bit-vector (inclusive, `hi >= lo`).
-    BvExtract { arg: TermId, hi: u32, lo: u32 },
+    BvExtract {
+        arg: TermId,
+        hi: u32,
+        lo: u32,
+    },
     /// Uninterpreted function application. Result sort must be `Bool` or an
     /// atom sort (bit-vector-valued functions are not supported; the VMN
     /// encoder uses per-instance variables for header fields instead).
-    Apply { func: FuncId, args: Vec<TermId> },
+    Apply {
+        func: FuncId,
+        args: Vec<TermId>,
+    },
 }
 
 /// Interner and sort-checker for terms.
@@ -358,8 +376,7 @@ impl TermPool {
         let out_w = hi - lo + 1;
         if let Term::BvConst { value, .. } = *self.term(arg) {
             let shifted = value >> lo;
-            let masked =
-                if out_w == 64 { shifted } else { shifted & ((1u64 << out_w) - 1) };
+            let masked = if out_w == 64 { shifted } else { shifted & ((1u64 << out_w) - 1) };
             return self.bv_const(masked, out_w);
         }
         if lo == 0 && hi == w - 1 {
@@ -379,7 +396,8 @@ impl TermPool {
         let hi = w - 1;
         let lo = w - prefix_len;
         let ext = self.bv_extract(a, hi, lo);
-        let cst_val = if w == 64 && lo == 0 { value } else { (value >> lo) & ((1u64 << prefix_len) - 1) };
+        let cst_val =
+            if w == 64 && lo == 0 { value } else { (value >> lo) & ((1u64 << prefix_len) - 1) };
         let cst = self.bv_const(cst_val, prefix_len);
         self.eq(ext, cst)
     }

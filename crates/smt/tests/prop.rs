@@ -167,7 +167,8 @@ proptest! {
 fn deep_nesting_does_not_blow_up() {
     // A linear chain of implications with a contradiction at the end.
     let mut ctx = Context::new();
-    let vars: Vec<TermId> = (0..200).map(|i| ctx.fresh_const(format!("x{i}"), Sort::Bool)).collect();
+    let vars: Vec<TermId> =
+        (0..200).map(|i| ctx.fresh_const(format!("x{i}"), Sort::Bool)).collect();
     ctx.assert(vars[0]);
     for w in vars.windows(2) {
         let imp = ctx.implies(w[0], w[1]);

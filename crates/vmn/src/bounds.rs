@@ -29,11 +29,7 @@ pub const DEFAULT_SLACK: usize = 2;
 
 /// Longest middlebox pipeline between any pair of the given hosts under
 /// `scenario` (measured on the static datapath).
-pub fn max_pipeline_depth(
-    net: &Network,
-    scenario: &FailureScenario,
-    hosts: &[NodeId],
-) -> usize {
+pub fn max_pipeline_depth(net: &Network, scenario: &FailureScenario, hosts: &[NodeId]) -> usize {
     let tf = TransferFunction::new(&net.topo, &net.tables, scenario);
     let mut depth = 0;
     for &src in hosts {

@@ -39,9 +39,7 @@ use crate::network::Network;
 use std::collections::HashMap;
 use vmn_logic::{Formula, Grounder, LtlBuilder};
 use vmn_mbox::{Action, Guard, KeyExpr, MboxModel};
-use vmn_net::{
-    Address, FailureScenario, HeaderClasses, NetError, NodeId, TransferFunction,
-};
+use vmn_net::{Address, FailureScenario, HeaderClasses, NetError, NodeId, TransferFunction};
 use vmn_smt::{Context, Sort, TermId};
 
 /// Widths of the symbolic header fields.
@@ -229,11 +227,8 @@ impl<'n> Enc<'n> {
         k: usize,
     ) -> Result<Enc<'n>, EncodeError> {
         assert!(k >= 1 && k <= 62, "trace bound {k} out of supported range");
-        let mut terminals: Vec<NodeId> = nodes
-            .iter()
-            .copied()
-            .filter(|&n| net.topo.node(n).kind.is_terminal())
-            .collect();
+        let mut terminals: Vec<NodeId> =
+            nodes.iter().copied().filter(|&n| net.topo.node(n).kind.is_terminal()).collect();
         terminals.sort();
         terminals.dedup();
         let index: HashMap<NodeId, u64> =
@@ -651,8 +646,7 @@ impl<'n> Enc<'n> {
         for i in 0..t {
             let pend_i = self.pending(m, i, t);
             let none_older = {
-                let negs: Vec<TermId> =
-                    younger_pending.iter().map(|&p| self.ctx.not(p)).collect();
+                let negs: Vec<TermId> = younger_pending.iter().map(|&p| self.ctx.not(p)).collect();
                 self.ctx.and(&negs)
             };
             let sel = {
@@ -703,8 +697,7 @@ impl<'n> Enc<'n> {
         // Mutual-exclusion constraints among oracle classes (§3.4 output
         // constraints), applied to this step's packet.
         for group in model.exclusive_oracles.clone() {
-            let vars: Vec<TermId> =
-                group.iter().map(|name| self.oracle_var(name, t)).collect();
+            let vars: Vec<TermId> = group.iter().map(|name| self.oracle_var(name, t)).collect();
             for i in 0..vars.len() {
                 for j in (i + 1)..vars.len() {
                     let ni = self.ctx.not(vars[i]);
@@ -807,7 +800,11 @@ impl<'n> Enc<'n> {
                         set,
                         &lookup,
                         fired,
-                        &[(resp_src, FieldSel::Src), (resp_origin, FieldSel::Origin), (resp_tag, FieldSel::Tag)],
+                        &[
+                            (resp_src, FieldSel::Src),
+                            (resp_origin, FieldSel::Origin),
+                            (resp_tag, FieldSel::Tag),
+                        ],
                     );
                     responded = Some(FieldVars {
                         src: resp_src,
@@ -1024,11 +1021,9 @@ impl<'n> Enc<'n> {
             });
         let ltl = &self.ltl;
         let ctx = &mut self.ctx;
-        grounder.ground(ltl, ctx.pool_mut(), formula, t, &mut |pool, _a, s| {
-            match by_step.get(&s) {
-                Some(ms) => pool.or(ms),
-                None => pool.fls(),
-            }
+        grounder.ground(ltl, ctx.pool_mut(), formula, t, &mut |pool, _a, s| match by_step.get(&s) {
+            Some(ms) => pool.or(ms),
+            None => pool.fls(),
         })
     }
 

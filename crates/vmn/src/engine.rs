@@ -192,9 +192,9 @@ impl<'n> Verifier<'n> {
             let next = std::sync::atomic::AtomicUsize::new(0);
             let results: Vec<std::sync::Mutex<Option<Result<Report, VerifyError>>>> =
                 reps.iter().map(|_| std::sync::Mutex::new(None)).collect();
-            crossbeam::scope(|scope| {
+            std::thread::scope(|scope| {
                 for _ in 0..threads.min(reps.len()) {
-                    scope.spawn(|_| loop {
+                    scope.spawn(|| loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
                         if i >= reps.len() {
                             break;
@@ -203,8 +203,7 @@ impl<'n> Verifier<'n> {
                         *results[i].lock().unwrap() = Some(r);
                     });
                 }
-            })
-            .expect("verification worker panicked");
+            });
             results
                 .into_iter()
                 .map(|m| m.into_inner().unwrap().expect("worker filled result"))

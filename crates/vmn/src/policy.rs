@@ -31,11 +31,8 @@ impl PolicyClasses {
     /// their policy groups; the paper's operators configure networks in
     /// terms of such groups).
     pub fn from_groups(groups: Vec<Vec<NodeId>>) -> PolicyClasses {
-        let class_of = groups
-            .iter()
-            .enumerate()
-            .flat_map(|(i, g)| g.iter().map(move |&h| (h, i)))
-            .collect();
+        let class_of =
+            groups.iter().enumerate().flat_map(|(i, g)| g.iter().map(move |&h| (h, i))).collect();
         PolicyClasses { classes: groups, class_of }
     }
 
@@ -172,10 +169,8 @@ fn pipeline_types(
     let addr = net.host_address(to);
     match tf.terminal_path(from, addr) {
         Ok((mboxes, end)) => {
-            let mut types: Vec<String> = mboxes
-                .iter()
-                .filter_map(|&m| net.topo.mbox_type(m).map(str::to_string))
-                .collect();
+            let mut types: Vec<String> =
+                mboxes.iter().filter_map(|&m| net.topo.mbox_type(m).map(str::to_string)).collect();
             types.push(match end {
                 Some(_) => "delivered".to_string(),
                 None => "dropped".to_string(),
@@ -204,10 +199,8 @@ pub fn symmetry_key(net: &Network, pc: &PolicyClasses, inv: &Invariant) -> Strin
             format!("data-iso:{}:{}", class(*origin), class(*dst))
         }
         Invariant::Traversal { dst, through, from } => {
-            let mut types: Vec<&str> = through
-                .iter()
-                .filter_map(|&m| net.topo.mbox_type(m))
-                .collect();
+            let mut types: Vec<&str> =
+                through.iter().filter_map(|&m| net.topo.mbox_type(m)).collect();
             types.sort();
             format!(
                 "traversal:{}:{}:{}",

@@ -142,7 +142,10 @@ mod tests {
         let mut net = Network::new(topo, tables);
         net.set_model(
             fw,
-            models::learning_firewall("stateful-firewall", vec![(px("10.0.0.0/8"), px("10.0.0.0/8"))]),
+            models::learning_firewall(
+                "stateful-firewall",
+                vec![(px("10.0.0.0/8"), px("10.0.0.0/8"))],
+            ),
         );
         (net, pairs)
     }
@@ -153,8 +156,7 @@ mod tests {
             let (net, pairs) = many_pairs(n);
             let pc = PolicyClasses::from_groups(vec![]);
             let inv = Invariant::NodeIsolation { src: pairs[0].0, dst: pairs[0].1 };
-            let slice =
-                compute_slice(&net, &FailureScenario::none(), &inv, &pc).unwrap();
+            let slice = compute_slice(&net, &FailureScenario::none(), &inv, &pc).unwrap();
             // Slice = the two endpoints + the firewall, regardless of n.
             assert_eq!(slice.len(), 3, "n={n}: slice {slice:?}");
         }
@@ -192,7 +194,8 @@ mod tests {
         for h in [c1, c2, other] {
             tables.add_rule(sw, Rule::from_neighbor(px("10.1.0.0/16"), h, cache).with_priority(10));
         }
-        tables.add_rule(sw, Rule::from_neighbor(px("10.2.0.0/15"), server, cache).with_priority(10));
+        tables
+            .add_rule(sw, Rule::from_neighbor(px("10.2.0.0/15"), server, cache).with_priority(10));
         let mut net = Network::new(topo, tables);
         net.set_model(cache, models::content_cache("content-cache", [px("10.1.0.0/16")], vec![]));
 

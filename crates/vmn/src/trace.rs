@@ -63,11 +63,8 @@ impl Trace {
                 _ => StepKind::Idle,
             };
             let actor_id = enc.ctx.eval_bv(sv.actor) as usize;
-            let actor = if kind != StepKind::Idle {
-                enc.terminals.get(actor_id).copied()
-            } else {
-                None
-            };
+            let actor =
+                if kind != StepKind::Idle { enc.terminals.get(actor_id).copied() } else { None };
             let present = enc.ctx.eval_bool(sv.present);
             let packet = if present {
                 Some(Header {
@@ -111,12 +108,8 @@ impl Trace {
                 }
                 _ => None,
             };
-            let oracle_names: Vec<String> = enc
-                .oracles
-                .keys()
-                .filter(|(_, ot)| *ot == t)
-                .map(|(n, _)| n.clone())
-                .collect();
+            let oracle_names: Vec<String> =
+                enc.oracles.keys().filter(|(_, ot)| *ot == t).map(|(n, _)| n.clone()).collect();
             let oracle_values = oracle_names
                 .into_iter()
                 .map(|name| {

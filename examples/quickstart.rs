@@ -33,10 +33,7 @@ fn main() {
     let mut net = Network::new(topo, tables);
     net.set_model(
         fw,
-        models::learning_firewall(
-            "stateful-firewall",
-            vec![("10.0.0.0/8".parse().unwrap(), all)],
-        ),
+        models::learning_firewall("stateful-firewall", vec![("10.0.0.0/8".parse().unwrap(), all)]),
     );
 
     let verifier = Verifier::new(&net, VerifyOptions::default()).expect("valid network");

@@ -1,0 +1,11 @@
+//! Workspace umbrella crate.
+//!
+//! Exists to host the top-level integration tests (`tests/`) and runnable
+//! examples (`examples/`); the library surface simply re-exports the
+//! member crates so `cargo doc` has a single entry point.
+
+pub use vmn;
+pub use vmn_mbox;
+pub use vmn_net;
+pub use vmn_scenarios;
+pub use vmn_sim;

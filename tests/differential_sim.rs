@@ -9,9 +9,7 @@
 
 use vmn::{Invariant, Network, Verdict, Verifier, VerifyOptions};
 use vmn_mbox::models;
-use vmn_net::{
-    Address, FailureScenario, Header, NodeId, Prefix, RoutingConfig, Rule, Topology,
-};
+use vmn_net::{Address, FailureScenario, Header, NodeId, Prefix, RoutingConfig, Rule, Topology};
 
 fn addr(s: &str) -> Address {
     s.parse().unwrap()
@@ -188,10 +186,7 @@ fn random_simulation_never_beats_the_verifier() {
         fw,
         models::learning_firewall(
             "stateful-firewall",
-            vec![
-                (px("10.0.0.0/8"), px("0.0.0.0/0")),
-                (px("0.0.0.0/0"), px("10.0.0.6/32")),
-            ],
+            vec![(px("10.0.0.0/8"), px("0.0.0.0/0")), (px("0.0.0.0/0"), px("10.0.0.6/32"))],
         ),
     );
 
@@ -201,13 +196,12 @@ fn random_simulation_never_beats_the_verifier() {
     for _ in 0..50 {
         let models: HashMap<NodeId, &vmn_mbox::MboxModel> =
             net.topo.middleboxes().map(|m| (m, net.model(m))).collect();
-        let mut sim =
-            Simulator::new(&net.topo, &net.tables, FailureScenario::none(), models);
+        let mut sim = Simulator::new(&net.topo, &net.tables, FailureScenario::none(), models);
         for _ in 0..12 {
             if rng.gen_bool(0.6) {
                 let hosts = [outside, inside, peer];
-                let src = hosts[rng.gen_range(0..3)];
-                let dst = hosts[rng.gen_range(0..3)];
+                let src = hosts[rng.gen_range(0..3usize)];
+                let dst = hosts[rng.gen_range(0..3usize)];
                 if src == dst {
                     continue;
                 }
@@ -262,10 +256,10 @@ fn exhaustive_enumeration_never_beats_the_verifier() {
 
     // Firewall ACLs to try: each yields a different verdict pattern.
     let acl_variants: Vec<Vec<(Prefix, Prefix)>> = vec![
-        vec![],                                                   // deny all
-        vec![(px("10.0.0.0/8"), px("0.0.0.0/0"))],                // inside out
-        vec![(px("8.8.8.8/32"), px("10.0.0.0/8"))],               // outside in
-        vec![(px("0.0.0.0/0"), px("0.0.0.0/0"))],                 // allow all
+        vec![],                                     // deny all
+        vec![(px("10.0.0.0/8"), px("0.0.0.0/0"))],  // inside out
+        vec![(px("8.8.8.8/32"), px("10.0.0.0/8"))], // outside in
+        vec![(px("0.0.0.0/0"), px("0.0.0.0/0"))],   // allow all
     ];
 
     for acl in acl_variants {
@@ -301,8 +295,7 @@ fn exhaustive_enumeration_never_beats_the_verifier() {
         while let Some(seq) = stack.pop() {
             let models: HashMap<NodeId, &vmn_mbox::MboxModel> =
                 net.topo.middleboxes().map(|m| (m, net.model(m))).collect();
-            let mut sim =
-                Simulator::new(&net.topo, &net.tables, FailureScenario::none(), models);
+            let mut sim = Simulator::new(&net.topo, &net.tables, FailureScenario::none(), models);
             for &i in &seq {
                 sim.exec(&alphabet[i]).unwrap();
             }
@@ -331,10 +324,6 @@ fn exhaustive_enumeration_never_beats_the_verifier() {
         // Ground truth for these ACLs: only the deny-all firewall keeps
         // outside fully node-isolated from inside.
         let expect_holds = acl.is_empty();
-        assert_eq!(
-            rep.verdict.holds(),
-            expect_holds,
-            "unexpected verdict for acl {acl:?}"
-        );
+        assert_eq!(rep.verdict.holds(), expect_holds, "unexpected verdict for acl {acl:?}");
     }
 }

@@ -3,9 +3,7 @@
 
 use vmn::{Invariant, Network, Verdict, Verifier, VerifyOptions};
 use vmn_mbox::models;
-use vmn_net::{
-    Address, FailureScenario, NodeId, Prefix, RoutingConfig, Rule, Topology,
-};
+use vmn_net::{Address, FailureScenario, NodeId, Prefix, RoutingConfig, Rule, Topology};
 
 fn addr(s: &str) -> Address {
     s.parse().unwrap()
@@ -61,11 +59,8 @@ fn stateful_firewall_blocks_unsolicited_but_not_replies() {
     match &node.verdict {
         Verdict::Violated { trace, .. } => {
             // The witness must contain an inside-initiated packet first.
-            let sends: Vec<_> = trace
-                .steps
-                .iter()
-                .filter(|s| s.kind == vmn::StepKind::HostSend)
-                .collect();
+            let sends: Vec<_> =
+                trace.steps.iter().filter(|s| s.kind == vmn::StepKind::HostSend).collect();
             assert!(
                 sends.iter().any(|s| s.actor == Some(g.inside)),
                 "hole punching requires an inside send:\n{}",
@@ -300,9 +295,8 @@ fn verify_all_uses_symmetry() {
     // symmetric and only one should be verified directly.
     let mut topo = Topology::new();
     let outside = topo.add_host("outside", addr("8.8.8.8"));
-    let insides: Vec<NodeId> = (0..4)
-        .map(|i| topo.add_host(format!("in{i}"), Address(0x0A000005 + i)))
-        .collect();
+    let insides: Vec<NodeId> =
+        (0..4).map(|i| topo.add_host(format!("in{i}"), Address(0x0A000005 + i))).collect();
     let sw = topo.add_switch("sw");
     let fw = topo.add_middlebox("fw", "stateful-firewall", vec![]);
     topo.add_link(outside, sw);
@@ -318,10 +312,8 @@ fn verify_all_uses_symmetry() {
     net.set_model(fw, models::learning_firewall("stateful-firewall", vec![]));
 
     let v = Verifier::new(&net, VerifyOptions::default()).unwrap();
-    let invs: Vec<Invariant> = insides
-        .iter()
-        .map(|&dst| Invariant::NodeIsolation { src: outside, dst })
-        .collect();
+    let invs: Vec<Invariant> =
+        insides.iter().map(|&dst| Invariant::NodeIsolation { src: outside, dst }).collect();
     let reports = v.verify_all(&invs, 2).unwrap();
     assert_eq!(reports.len(), 4);
     assert!(reports.iter().all(|r| r.verdict.holds()));

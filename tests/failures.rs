@@ -4,9 +4,7 @@
 
 use vmn::{Invariant, Network, Verdict, Verifier, VerifyOptions};
 use vmn_mbox::models;
-use vmn_net::{
-    Address, FailureScenario, NodeId, Prefix, RoutingConfig, Rule, Topology,
-};
+use vmn_net::{Address, FailureScenario, NodeId, Prefix, RoutingConfig, Rule, Topology};
 
 fn addr(s: &str) -> Address {
     s.parse().unwrap()
@@ -134,9 +132,7 @@ fn no_backup_means_fail_closed_blocks_everything() {
     // difference — simplest: a network where fw is failed from the start.
     only_failed.add_scenario(FailureScenario::nodes([net.topo.by_name("fw").unwrap()]));
     let v2 = Verifier::new(&only_failed, VerifyOptions::default()).unwrap();
-    let rep = v2
-        .verify(&Invariant::NodeIsolation { src: outside, dst: inside })
-        .unwrap();
+    let rep = v2.verify(&Invariant::NodeIsolation { src: outside, dst: inside }).unwrap();
     // Violated in the healthy scenario (ACL allows), and the report's
     // scenario must be the healthy one, not the failed one.
     match rep.verdict {

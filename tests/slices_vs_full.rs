@@ -5,9 +5,7 @@
 
 use vmn::{Invariant, Network, Verifier, VerifyOptions};
 use vmn_mbox::models;
-use vmn_net::{
-    Address, FailureScenario, NodeId, Prefix, RoutingConfig, Rule, Topology,
-};
+use vmn_net::{Address, FailureScenario, NodeId, Prefix, RoutingConfig, Rule, Topology};
 
 fn px(s: &str) -> Prefix {
     s.parse().unwrap()
@@ -134,8 +132,5 @@ fn sliced_verification_is_faster_on_larger_networks() {
     let b = whole.verify(&inv).unwrap();
     let whole_time = t1.elapsed();
     assert_eq!(a.verdict.holds(), b.verdict.holds());
-    assert!(
-        slice_time < whole_time,
-        "slice {slice_time:?} should beat whole {whole_time:?}"
-    );
+    assert!(slice_time < whole_time, "slice {slice_time:?} should beat whole {whole_time:?}");
 }
