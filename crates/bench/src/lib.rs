@@ -160,4 +160,36 @@ pub fn whole(hint: Vec<Vec<NodeId>>) -> VerifyOptions {
     VerifyOptions { policy_hint: Some(hint), ..VerifyOptions::whole_network() }
 }
 
+/// Workload shared by the `scenario_sweep` bench and the
+/// `bench_scenarios` emitter: the §5.1 datacenter with `n` middlebox
+/// failure scenarios attached, plus a cross-group isolation invariant
+/// that *holds* in every scenario — so a verification sweep visits all
+/// `n + 1` scenarios (no-failure first) instead of stopping early.
+pub fn scenario_sweep_workload(n: usize) -> (Network, Vec<Vec<NodeId>>, Invariant) {
+    use vmn_net::FailureScenario;
+    use vmn_scenarios::datacenter::{Datacenter, DatacenterParams};
+    let dc = Datacenter::build(DatacenterParams {
+        racks: 4,
+        hosts_per_rack: 2,
+        policy_groups: 2,
+        redundant: true,
+        with_failures: false,
+    });
+    let mut net = dc.net.clone();
+    let fw2 = dc.fw2.expect("redundant build has a backup firewall");
+    let idps2 = dc.idps2.expect("redundant build has a backup IDPS");
+    let mut faults: Vec<FailureScenario> = [dc.fw1, dc.idps1, fw2, idps2, dc.lb1]
+        .into_iter()
+        .map(|m| FailureScenario::nodes([m]))
+        .collect();
+    faults.push(FailureScenario::nodes([dc.fw1, dc.idps1]));
+    faults.push(FailureScenario::nodes([fw2, idps2]));
+    faults.push(FailureScenario::nodes([dc.fw1, idps2]));
+    assert!(n <= faults.len(), "at most {} failure scenarios available", faults.len());
+    for s in faults.into_iter().take(n) {
+        net.add_scenario(s);
+    }
+    (net, dc.policy_hint(), dc.pair_isolation(0, 1))
+}
+
 pub mod figures;

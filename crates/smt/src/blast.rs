@@ -37,6 +37,25 @@ impl<'a> Blaster<'a> {
         }
     }
 
+    /// Reopens a blasting session over caches produced by an earlier
+    /// session (see [`Blaster::into_caches`]). Terms already lowered keep
+    /// their literals, so incremental solving re-encodes nothing.
+    pub fn resume(
+        pool: &'a TermPool,
+        solver: &'a mut Solver,
+        euf: &'a mut Euf,
+        caches: BlastCaches,
+    ) -> Blaster<'a> {
+        Blaster {
+            pool,
+            solver,
+            euf,
+            bool_cache: caches.bool_cache,
+            bv_cache: caches.bv_cache,
+            true_lit: caches.true_lit,
+        }
+    }
+
     pub fn true_lit(&self) -> Lit {
         self.true_lit
     }
@@ -284,17 +303,24 @@ impl<'a> Blaster<'a> {
     }
 
     /// Consumes the blaster, releasing its borrows and returning the
-    /// encoding caches for model extraction.
+    /// encoding caches for model extraction and later resumption
+    /// ([`Blaster::resume`]).
     pub fn into_caches(self) -> BlastCaches {
-        BlastCaches { bool_cache: self.bool_cache, bv_cache: self.bv_cache }
+        BlastCaches {
+            bool_cache: self.bool_cache,
+            bv_cache: self.bv_cache,
+            true_lit: self.true_lit,
+        }
     }
 }
 
 /// Term-to-literal caches produced by a [`Blaster`], used to read a model
-/// back out of the SAT solver after solving.
+/// back out of the SAT solver after solving and to resume encoding in a
+/// later incremental session.
 pub struct BlastCaches {
     bool_cache: HashMap<TermId, Lit>,
     bv_cache: HashMap<TermId, Vec<Lit>>,
+    true_lit: Lit,
 }
 
 impl BlastCaches {

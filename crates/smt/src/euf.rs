@@ -13,8 +13,12 @@
 //! yields the expected propagation, e.g. `p(a), a = b, ¬p(b)` drives `⊤`
 //! and `⊥` together and conflicts.
 //!
-//! All term registration must happen before solving starts; assertions are
-//! undoable through a trail so the SAT solver can backtrack the theory.
+//! Term registration happens before solving starts, or — for incremental
+//! use — between solve calls while the SAT solver sits at decision level
+//! zero (see [`Euf::unseal`]). Assertions are undoable through a trail so
+//! the SAT solver can backtrack the theory; a backtrack-to-zero rewinds
+//! every non-permanent merge, which is what lets one `Euf` instance serve
+//! an arbitrary number of assumption-based checks.
 
 use crate::sat::{Lit, Theory, TheoryConflict, Var};
 use crate::term::{FuncId, Term, TermId, TermPool};
@@ -92,6 +96,10 @@ pub struct Euf {
     /// `marks[i]` = trail length before the i-th SAT assertion.
     marks: Vec<usize>,
     sealed: bool,
+    /// Set when a between-check registration discovered that the permanent
+    /// (level-zero) facts are already theory-inconsistent; reported as a
+    /// conflict on the next assertion.
+    base_conflict: Option<Vec<Lit>>,
     true_node: NodeId,
     false_node: NodeId,
 }
@@ -117,6 +125,7 @@ impl Euf {
             trail: Vec::new(),
             marks: Vec::new(),
             sealed: false,
+            base_conflict: None,
             true_node: NodeId(0),
             false_node: NodeId(0),
         };
@@ -139,10 +148,21 @@ impl Euf {
         id
     }
 
+    /// Reopens the theory for node/atom registration between solve calls.
+    ///
+    /// Safe only while the owning SAT solver sits at decision level zero
+    /// (i.e. after [`crate::sat::Solver::backtrack_to_base`]): every merge
+    /// still on the trail is then permanent, so signatures computed during
+    /// registration can never be invalidated by later backtracking.
+    pub fn unseal(&mut self) {
+        self.sealed = false;
+    }
+
     /// Registers (recursively) the node for an atom-sorted or predicate
-    /// term. Must be called before solving begins.
+    /// term. Must be called before solving begins, or between solve calls
+    /// after [`Euf::unseal`].
     pub fn node(&mut self, pool: &TermPool, t: TermId) -> NodeId {
-        assert!(!self.sealed, "EUF nodes must be registered before solving");
+        assert!(!self.sealed, "EUF nodes must be registered before solving (or after unseal())");
         if let Some(&n) = self.term_node.get(&t) {
             return n;
         }
@@ -156,9 +176,22 @@ impl Euf {
                     self.uses[rc.index()].push(n);
                 }
                 let sig: Sig = (func, child_nodes.iter().map(|&c| self.find(c)).collect());
-                // Hash-consing of terms guarantees no pre-solve collision.
-                let prev = self.sig_table.insert(sig, n);
-                debug_assert!(prev.is_none(), "duplicate application registered");
+                // Hash-consing of terms guarantees no collision before the
+                // first solve. Afterwards, permanent level-zero merges can
+                // make a new application congruent to an existing one: keep
+                // the closure exact by merging the two immediately (this is
+                // itself permanent). A conflict here means the level-zero
+                // facts are inconsistent; remember it for the next assert.
+                if let Some(&v) = self.sig_table.get(&sig) {
+                    self.sig_table.insert(sig, n);
+                    if self.find(v) != self.find(n) {
+                        if let Err(lits) = self.merge(n, v, Reason::Congruence(n, v)) {
+                            self.base_conflict = Some(lits);
+                        }
+                    }
+                } else {
+                    self.sig_table.insert(sig, n);
+                }
                 n
             }
             other => panic!("cannot register {other:?} as an EUF node"),
@@ -416,6 +449,17 @@ impl Theory for Euf {
     fn on_assert(&mut self, lit: Lit) -> Result<(), TheoryConflict> {
         self.sealed = true;
         self.marks.push(self.trail.len());
+        if let Some(base) = &self.base_conflict {
+            // The permanent facts are already inconsistent; surface the
+            // stored explanation. Including the trigger literal keeps the
+            // conflict non-empty at the current decision level, which is
+            // all conflict analysis needs to drive the search to UNSAT.
+            let mut lits = base.clone();
+            if !lits.contains(&lit) {
+                lits.push(lit);
+            }
+            return Err(TheoryConflict { lits });
+        }
         let Some(&atom) = self.atoms.get(&lit.var()) else {
             return Ok(());
         };
@@ -661,6 +705,28 @@ mod tests {
         h.assert_true(ab);
         h.assert_true(!gg);
         assert_eq!(h.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_rewind_theory_state() {
+        // a = b and p(a) are permanent; ¬p(b) is only *assumed*. The first
+        // check is UNSAT under the assumption, the second (assumption-free)
+        // check must succeed on the very same Euf instance — i.e. the
+        // congruence state rewinds fully between calls.
+        let mut h = Harness::new();
+        let a = h.const_("a");
+        let b = h.const_("b");
+        let p = h.pool.declare_fun("p", &[h.sort], Sort::Bool);
+        let pa = h.pred_lit(p, &[a]);
+        let pb = h.pred_lit(p, &[b]);
+        let ab = h.eq_lit(a, b);
+        h.assert_true(pa);
+        h.assert_true(ab);
+        for _ in 0..3 {
+            assert_eq!(h.solver.solve_with_assumptions(&[!pb], &mut h.euf), SatResult::Unsat);
+            assert_eq!(h.solver.solve_with_assumptions(&[], &mut h.euf), SatResult::Sat);
+            assert!(h.solver.model_value(pb.var()), "congruence forces p(b)");
+        }
     }
 
     #[test]

@@ -3,11 +3,19 @@
 //! [`Context`] owns a [`TermPool`] and a list of assertions; [`Context::check`]
 //! lowers everything to CNF (+ theory atoms), runs the CDCL(T) search and, on
 //! SAT, stores a [`Model`] that can be queried for any term.
+//!
+//! The context is **incremental**: the CDCL solver, the EUF engine and the
+//! Tseitin/bit-blast caches live as long as the context. Each check lowers
+//! only the assertions added since the previous one, and
+//! [`Context::check_assuming`] decides satisfiability under a set of
+//! assumption literals without committing them — the idiom behind the VMN
+//! verifier's per-failure-scenario activation literals, where thousands of
+//! closely-related queries share one learnt-clause database.
 
-use crate::blast::Blaster;
+use crate::blast::{BlastCaches, Blaster};
 use crate::euf::Euf;
 use crate::model::{Model, Value};
-use crate::sat::{SatResult as CoreResult, Solver, SolverStats};
+use crate::sat::{Lit, SatResult as CoreResult, Solver, SolverStats};
 use crate::simplify::lower_atom_ites;
 use crate::sorts::{Sort, SortStore};
 use crate::term::{FuncId, TermId, TermPool};
@@ -29,6 +37,20 @@ pub struct Context {
     assertions: Vec<TermId>,
     model: Option<Model>,
     stats: SolverStats,
+    /// Persistent CDCL core; learnt clauses, activities and phases carry
+    /// over between checks.
+    sat: Solver,
+    /// Persistent congruence-closure theory; rewound to its base state
+    /// between checks, reopened for registration as needed.
+    euf: Euf,
+    /// Tseitin/bit-blast caches from previous checks (`None` before the
+    /// first check).
+    caches: Option<BlastCaches>,
+    /// Number of assertions already lowered into the solver.
+    lowered_upto: usize,
+    /// Memoised atom-ITE lowering of assumption terms (their definitional
+    /// side constraints are asserted exactly once).
+    assumption_cache: HashMap<TermId, TermId>,
 }
 
 impl Default for Context {
@@ -45,6 +67,11 @@ impl Context {
             assertions: Vec::new(),
             model: None,
             stats: SolverStats::default(),
+            sat: Solver::new(),
+            euf: Euf::new(),
+            caches: None,
+            lowered_upto: 0,
+            assumption_cache: HashMap::new(),
         }
     }
 
@@ -64,7 +91,8 @@ impl Context {
         &mut self.sorts
     }
 
-    /// Statistics from the most recent [`Context::check`].
+    /// Solver statistics, cumulative over every check this context ran
+    /// (the CDCL core is persistent).
     pub fn stats(&self) -> SolverStats {
         self.stats
     }
@@ -169,59 +197,105 @@ impl Context {
 
     /// Decides satisfiability of the conjunction of all assertions.
     ///
-    /// Each call runs a fresh solve over the full assertion set (the VMN
-    /// verifier builds one context per invariant check, so incrementality
-    /// is not needed). On `Sat`, the model is available via
-    /// [`Context::model`].
+    /// Incremental: only assertions added since the previous check are
+    /// lowered, and the solver keeps everything it learnt. On `Sat`, the
+    /// model is available via [`Context::model`].
     pub fn check(&mut self) -> SatResult {
-        self.model = None;
+        self.check_assuming(&[])
+    }
 
-        // Lower atom-sorted ITEs (needs &mut pool, so done before blasting).
-        let mut lowered = Vec::with_capacity(self.assertions.len());
-        for t in self.assertions.clone() {
+    /// Decides satisfiability of all assertions **plus** the given
+    /// assumption terms, without committing the assumptions.
+    ///
+    /// Assumptions must be boolean terms; they are lowered to literals and
+    /// handed to the CDCL core as pseudo-decisions, so an `Unsat` answer
+    /// means "unsatisfiable under these assumptions" and the context stays
+    /// fully reusable — clauses learnt while refuting one assumption set
+    /// accelerate the next. This is the engine behind the VMN verifier's
+    /// failure-scenario sweeps: one activation literal per scenario,
+    /// one `check_assuming` call per scenario, zero re-encoding.
+    pub fn check_assuming(&mut self, assumptions: &[TermId]) -> SatResult {
+        self.model = None;
+        // Rewind to the base level: drops the previous call's assignment
+        // (theory included) so that clause and term additions are legal.
+        self.sat.backtrack_to_base(&mut self.euf);
+        self.euf.unseal();
+
+        // Lower atom-sorted ITEs (needs &mut pool, so done before
+        // blasting) — for the new assertions and the assumption terms.
+        let pending: Vec<TermId> = self.assertions[self.lowered_upto..].to_vec();
+        self.lowered_upto = self.assertions.len();
+        let mut lowered = Vec::with_capacity(pending.len());
+        for t in pending {
             let (t2, side) = lower_atom_ites(&mut self.pool, t);
             lowered.push(t2);
             lowered.extend(side);
         }
+        let mut assumption_terms = Vec::with_capacity(assumptions.len());
+        for &t in assumptions {
+            assert!(self.pool.sort(t).is_bool(), "assumptions must be boolean");
+            let t2 = match self.assumption_cache.get(&t) {
+                Some(&t2) => t2,
+                None => {
+                    let (t2, side) = lower_atom_ites(&mut self.pool, t);
+                    // Side constraints are definitional (fresh-variable
+                    // bindings), so asserting them permanently is sound;
+                    // the memo keeps repeated checks on the same
+                    // assumption from minting fresh variables each time.
+                    lowered.extend(side);
+                    self.assumption_cache.insert(t, t2);
+                    t2
+                }
+            };
+            assumption_terms.push(t2);
+        }
 
-        let mut solver = Solver::new();
-        let mut euf = Euf::new();
-        let mut blaster = Blaster::new(&self.pool, &mut solver, &mut euf);
+        let mut blaster = match self.caches.take() {
+            Some(c) => Blaster::resume(&self.pool, &mut self.sat, &mut self.euf, c),
+            None => Blaster::new(&self.pool, &mut self.sat, &mut self.euf),
+        };
         for &t in &lowered {
             blaster.assert_true(t);
         }
+        let assumption_lits: Vec<Lit> =
+            assumption_terms.iter().map(|&t| blaster.lit_of(t)).collect();
         let caches = blaster.into_caches();
 
-        let result = solver.solve(&mut euf);
-        self.stats = solver.stats();
-        match result {
+        let result = self.sat.solve_with_assumptions(&assumption_lits, &mut self.euf);
+        self.stats = self.sat.stats();
+        let out = match result {
             CoreResult::Unsat => SatResult::Unsat,
             CoreResult::Sat => {
-                // Harvest values for every term the encoder saw.
+                // Harvest values for every term the encoder saw, then drop
+                // the search assignment so the next call starts clean.
                 let mut values: HashMap<TermId, Value> = HashMap::new();
                 for t in caches.bool_terms() {
-                    if let Some(b) = caches.bool_value(&solver, t) {
+                    if let Some(b) = caches.bool_value(&self.sat, t) {
                         values.insert(t, Value::Bool(b));
                     }
                 }
                 for t in caches.bv_terms() {
-                    if let Some(v) = caches.bv_value(&solver, t) {
+                    if let Some(v) = caches.bv_value(&self.sat, t) {
                         values.insert(t, Value::Bv(v));
                     }
                 }
-                // Atom-sorted terms take their EUF congruence class.
+                // Atom-sorted terms take their EUF congruence class (read
+                // before the rewind below erases the classes).
                 for idx in 0..self.pool.len() {
                     let t = TermId(idx as u32);
                     if self.pool.sort(t).is_atom() {
-                        if let Some(c) = euf.class_of(t) {
+                        if let Some(c) = self.euf.class_of(t) {
                             values.insert(t, Value::Class(c));
                         }
                     }
                 }
                 self.model = Some(Model::new(values, 0));
+                self.sat.backtrack_to_base(&mut self.euf);
                 SatResult::Sat
             }
-        }
+        };
+        self.caches = Some(caches);
+        out
     }
 
     /// The model from the last `check`, if it returned [`SatResult::Sat`].
@@ -335,6 +409,75 @@ mod tests {
         ctx.assert(n1);
         ctx.assert(n2);
         assert_eq!(ctx.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn check_assuming_is_non_committal() {
+        let mut ctx = Context::new();
+        let g1 = ctx.fresh_const("g1", Sort::Bool);
+        let g2 = ctx.fresh_const("g2", Sort::Bool);
+        let x = ctx.fresh_const("x", Sort::bitvec(8));
+        let five = ctx.bv_const(5, 8);
+        let nine = ctx.bv_const(9, 8);
+        let eq5 = ctx.eq(x, five);
+        let eq9 = ctx.eq(x, nine);
+        let r1 = ctx.implies(g1, eq5);
+        let r2 = ctx.implies(g2, eq9);
+        ctx.assert(r1);
+        ctx.assert(r2);
+        let ng1 = ctx.not(g1);
+        let ng2 = ctx.not(g2);
+        // Scenario 1: x = 5.
+        assert_eq!(ctx.check_assuming(&[g1, ng2]), SatResult::Sat);
+        assert_eq!(ctx.eval_bv(x), 5);
+        // Scenario 2: x = 9 — the previous assumptions left no residue.
+        assert_eq!(ctx.check_assuming(&[g2, ng1]), SatResult::Sat);
+        assert_eq!(ctx.eval_bv(x), 9);
+        // Both at once: contradictory, but only under these assumptions.
+        assert_eq!(ctx.check_assuming(&[g1, g2]), SatResult::Unsat);
+        assert_eq!(ctx.check(), SatResult::Sat, "context survives assumption UNSAT");
+    }
+
+    #[test]
+    fn check_assuming_with_euf_atoms() {
+        let mut ctx = Context::new();
+        let u = ctx.sorts_mut().declare("U");
+        let a = ctx.fresh_const("a", u);
+        let b = ctx.fresh_const("b", u);
+        let f = ctx.declare_fun("f", &[u], u);
+        let fa = ctx.apply(f, &[a]);
+        let fb = ctx.apply(f, &[b]);
+        let ab = ctx.eq(a, b);
+        let fafb = ctx.eq(fa, fb);
+        let nfafb = ctx.not(fafb);
+        ctx.assert(ab);
+        for _ in 0..3 {
+            assert_eq!(ctx.check_assuming(&[nfafb]), SatResult::Unsat, "congruence under a=b");
+            assert_eq!(ctx.check_assuming(&[fafb]), SatResult::Sat);
+            assert_eq!(ctx.check(), SatResult::Sat);
+        }
+    }
+
+    #[test]
+    fn assertions_between_assumption_checks() {
+        let mut ctx = Context::new();
+        let x = ctx.fresh_const("x", Sort::bitvec(4));
+        let g = ctx.fresh_const("g", Sort::Bool);
+        let three = ctx.bv_const(3, 4);
+        let le = ctx.bv_ule(x, three);
+        let guarded = ctx.implies(g, le);
+        ctx.assert(guarded);
+        assert_eq!(ctx.check_assuming(&[g]), SatResult::Sat);
+        assert!(ctx.eval_bv(x) <= 3);
+        // New permanent assertion after a check: x >= 12.
+        let twelve = ctx.bv_const(12, 4);
+        let ge = ctx.bv_ule(twelve, x);
+        ctx.assert(ge);
+        assert_eq!(ctx.check_assuming(&[g]), SatResult::Unsat);
+        let ng = ctx.not(g);
+        assert_eq!(ctx.check_assuming(&[ng]), SatResult::Sat);
+        assert!(ctx.eval_bv(x) >= 12);
+        assert_eq!(ctx.check(), SatResult::Sat);
     }
 
     #[test]

@@ -196,12 +196,21 @@ impl TermPool {
     }
 
     pub fn apply(&mut self, func: FuncId, args: &[TermId]) -> TermId {
-        let decl = self.funcs[func.0 as usize].clone();
+        // Borrow the declaration rather than cloning it (the name is a
+        // String; cloning it on every application was measurable on the
+        // encoder hot path).
+        let decl = &self.funcs[func.0 as usize];
         assert_eq!(decl.args.len(), args.len(), "arity mismatch applying {}", decl.name);
-        for (i, (&a, &expect)) in args.iter().zip(&decl.args).enumerate() {
-            assert_eq!(self.sort(a), expect, "argument {i} of {} has wrong sort", decl.name);
+        let ret = decl.ret;
+        for (i, (&a, &expect)) in args.iter().zip(decl.args.iter()).enumerate() {
+            assert_eq!(
+                self.sorts[a.index()],
+                expect,
+                "argument {i} of {} has wrong sort",
+                decl.name
+            );
         }
-        self.intern(Term::Apply { func, args: args.to_vec() }, decl.ret)
+        self.intern(Term::Apply { func, args: args.to_vec() }, ret)
     }
 
     pub fn not(&mut self, a: TermId) -> TermId {

@@ -22,6 +22,19 @@
 //! and routing has already re-converged (backup rules) — the paper's
 //! per-failure-condition transfer functions.
 //!
+//! ## Incremental failure scenarios
+//!
+//! One [`Encoded`] instance serves *every* failure scenario of a sweep.
+//! The skeleton built by [`encode_incremental`] — step semantics, FIFO
+//! ordering, middlebox models, history formulas, the negated invariant —
+//! is scenario-independent. Everything a scenario changes (which terminals
+//! are alive, where the re-converged routing delivers) is asserted under a
+//! per-scenario *activation literal* by [`Encoded::scenario_literal`], and
+//! a sweep issues one [`Encoded::check_scenario`] (an assumption-based
+//! solver call) per scenario. The solver, its learnt clauses and the
+//! bit-blasting caches persist across the whole sweep, so scenario `n+1`
+//! pays only for what distinguishes it from scenarios `1..n`.
+//!
 //! Middlebox state is never materialised: membership queries compile to
 //! *history formulas* — "some earlier step processed a matching insert" —
 //! exactly mirroring the paper's axioms like
@@ -40,7 +53,7 @@ use std::collections::HashMap;
 use vmn_logic::{Formula, Grounder, LtlBuilder};
 use vmn_mbox::{Action, Guard, KeyExpr, MboxModel};
 use vmn_net::{Address, FailureScenario, HeaderClasses, NetError, NodeId, TransferFunction};
-use vmn_smt::{Context, Sort, TermId};
+use vmn_smt::{Context, SatResult, Sort, TermId};
 
 /// Widths of the symbolic header fields.
 const ADDR_W: u32 = 32;
@@ -130,23 +143,8 @@ impl FieldSel {
     }
 }
 
-/// The encoder output: a solver context with the violation asserted, plus
-/// the variable tables needed to extract a counterexample.
-pub struct Encoded {
-    pub ctx: Context,
-    pub steps: Vec<StepVars>,
-    /// Terminal ids in encoding order (`terminals[i]` has encoded id `i`).
-    pub terminals: Vec<NodeId>,
-    /// Sentinel id meaning "dropped / not delivered".
-    pub drop_id: u64,
-    /// `fired[(step, mbox, rule)]` — the rule-fired indicator terms.
-    pub fired: HashMap<(usize, NodeId, usize), TermId>,
-    /// Oracle variables per (oracle name, step).
-    pub oracles: HashMap<(String, usize), TermId>,
-}
-
 /// Errors the encoder can produce.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum EncodeError {
     Net(NetError),
     /// The invariant references a node outside the encoded node set.
@@ -173,7 +171,10 @@ impl std::fmt::Display for EncodeError {
 impl std::error::Error for EncodeError {}
 
 /// Builds the violation formula for `inv` over `nodes` (a slice or the
-/// whole terminal set) with a `k`-step trace.
+/// whole terminal set) with a `k`-step trace, pinned to one failure
+/// scenario. The classic non-incremental entry point: `enc.ctx.check()`
+/// decides the scenario and [`crate::trace::Trace::extract`] reads back a
+/// witness.
 pub fn encode(
     net: &Network,
     scenario: &FailureScenario,
@@ -181,51 +182,68 @@ pub fn encode(
     inv: &Invariant,
     k: usize,
 ) -> Result<Encoded, EncodeError> {
-    let mut enc = Enc::new(net, scenario, nodes, k)?;
-    enc.build_steps();
-    enc.assert_invariant_violation(inv)?;
-    Ok(Encoded {
-        ctx: enc.ctx,
-        steps: enc.steps,
-        terminals: enc.terminals,
-        drop_id: enc.drop_id,
-        fired: enc.fired,
-        oracles: enc.oracle_vars,
-    })
+    let mut enc = encode_incremental(net, nodes, inv, k)?;
+    let live = enc.scenario_literal(net, scenario)?;
+    enc.ctx.assert(live);
+    Ok(enc)
 }
 
-struct Enc<'n> {
-    net: &'n Network,
-    scenario: &'n FailureScenario,
-    ctx: Context,
+/// Builds the scenario-independent violation formula for `inv` over
+/// `nodes`: step semantics, middlebox models and the negated invariant,
+/// but no liveness or delivery facts. Scenarios are attached afterwards
+/// with [`Encoded::scenario_literal`] / checked with
+/// [`Encoded::check_scenario`].
+pub fn encode_incremental(
+    net: &Network,
+    nodes: &[NodeId],
+    inv: &Invariant,
     k: usize,
-    terminals: Vec<NodeId>,
+) -> Result<Encoded, EncodeError> {
+    let mut enc = Encoded::new(net, nodes, k)?;
+    enc.build_steps(net);
+    enc.assert_invariant_violation(net, inv)?;
+    Ok(enc)
+}
+
+/// The encoder output: a solver context with the violation asserted, the
+/// variable tables needed to extract a counterexample, and the machinery
+/// for attaching failure scenarios incrementally.
+pub struct Encoded {
+    pub ctx: Context,
+    pub steps: Vec<StepVars>,
+    /// Terminal ids in encoding order (`terminals[i]` has encoded id `i`).
+    pub terminals: Vec<NodeId>,
+    /// Sentinel id meaning "dropped / not delivered".
+    pub drop_id: u64,
+    /// `fired[(step, mbox, rule)]` — the rule-fired indicator terms.
+    pub fired: HashMap<(usize, NodeId, usize), TermId>,
+    /// Oracle variables per (oracle name, step).
+    pub oracles: HashMap<(String, usize), TermId>,
+    // ---- scenario-independent skeleton state ----------------------------
+    k: usize,
     index: HashMap<NodeId, u64>,
     node_w: u32,
     step_w: u32,
-    drop_id: u64,
-    /// Per terminal: delivery intervals (start, inclusive end, result id).
-    deliv: HashMap<NodeId, Vec<(u32, u32, u64)>>,
-    steps: Vec<StepVars>,
-    /// Live hosts / middleboxes in scope.
+    /// Destination-address equivalence classes of the static datapath
+    /// (scenario-independent; each scenario reuses them for its transfer
+    /// function compilation).
+    classes: HeaderClasses,
+    /// Host / middlebox terminals in scope (across all scenarios; each
+    /// scenario's activation literal disables its failed ones).
     hosts: Vec<NodeId>,
     mboxes: Vec<NodeId>,
-    fired: HashMap<(usize, NodeId, usize), TermId>,
+    /// Activation literal per registered failure scenario.
+    scenarios: Vec<(FailureScenario, TermId)>,
+    // ---- build-time state ----------------------------------------------
     insert_sites: Vec<InsertSite>,
-    oracle_vars: HashMap<(String, usize), TermId>,
     /// pending(m, i, t): delivered-to-m(i) ∧ not processed before t.
     pending_memo: HashMap<(NodeId, usize, usize), TermId>,
     processed_memo: HashMap<(NodeId, usize, usize), TermId>,
     ltl: LtlBuilder<HistAtom>,
 }
 
-impl<'n> Enc<'n> {
-    fn new(
-        net: &'n Network,
-        scenario: &'n FailureScenario,
-        nodes: &[NodeId],
-        k: usize,
-    ) -> Result<Enc<'n>, EncodeError> {
+impl Encoded {
+    fn new(net: &Network, nodes: &[NodeId], k: usize) -> Result<Encoded, EncodeError> {
         assert!(k >= 1 && k <= 62, "trace bound {k} out of supported range");
         let mut terminals: Vec<NodeId> =
             nodes.iter().copied().filter(|&n| net.topo.node(n).kind.is_terminal()).collect();
@@ -237,49 +255,12 @@ impl<'n> Enc<'n> {
         let node_w = bits_for(drop_id + 1);
         let step_w = bits_for(k as u64);
 
-        // Precompute per-actor delivery intervals from the transfer
-        // function, merging adjacent header classes with equal outcomes.
         let classes = HeaderClasses::from_network(&net.topo, &net.tables);
-        let tf = TransferFunction::new(&net.topo, &net.tables, scenario);
-        let mut deliv = HashMap::new();
-        for &f in &terminals {
-            if scenario.is_failed(f) {
-                continue;
-            }
-            let mut intervals: Vec<(u32, u32, u64)> = Vec::new();
-            for ci in 0..classes.num_classes() {
-                let rep = classes.representative(ci);
-                let result = match tf.deliver(f, rep)? {
-                    Some(t) => index.get(&t).copied().unwrap_or(drop_id),
-                    None => drop_id,
-                };
-                let start = rep.0;
-                let end = if ci + 1 < classes.num_classes() {
-                    classes.representative(ci + 1).0 - 1
-                } else {
-                    u32::MAX
-                };
-                match intervals.last_mut() {
-                    Some(last) if last.2 == result && last.1.wrapping_add(1) == start => {
-                        last.1 = end;
-                    }
-                    _ => intervals.push((start, end, result)),
-                }
-            }
-            intervals.retain(|iv| iv.2 != drop_id);
-            deliv.insert(f, intervals);
-        }
 
-        let hosts: Vec<NodeId> = terminals
-            .iter()
-            .copied()
-            .filter(|&n| net.topo.node(n).kind.is_host() && !scenario.is_failed(n))
-            .collect();
-        let mboxes: Vec<NodeId> = terminals
-            .iter()
-            .copied()
-            .filter(|&n| net.topo.node(n).kind.is_middlebox() && !scenario.is_failed(n))
-            .collect();
+        let hosts: Vec<NodeId> =
+            terminals.iter().copied().filter(|&n| net.topo.node(n).kind.is_host()).collect();
+        let mboxes: Vec<NodeId> =
+            terminals.iter().copied().filter(|&n| net.topo.node(n).kind.is_middlebox()).collect();
 
         let mut ctx = Context::new();
         let mut steps = Vec::with_capacity(k);
@@ -314,27 +295,158 @@ impl<'n> Enc<'n> {
             });
         }
 
-        Ok(Enc {
-            net,
-            scenario,
+        Ok(Encoded {
             ctx,
-            k,
+            steps,
             terminals,
+            drop_id,
+            fired: HashMap::new(),
+            oracles: HashMap::new(),
+            k,
             index,
             node_w,
             step_w,
-            drop_id,
-            deliv,
-            steps,
+            classes,
             hosts,
             mboxes,
-            fired: HashMap::new(),
+            scenarios: Vec::new(),
             insert_sites: Vec::new(),
-            oracle_vars: HashMap::new(),
             pending_memo: HashMap::new(),
             processed_memo: HashMap::new(),
             ltl: LtlBuilder::new(),
         })
+    }
+
+    // ---- incremental scenario API ----------------------------------------
+
+    /// Activation literal of `scenario`, registering (and encoding) the
+    /// scenario on first use. While the literal is true, exactly this
+    /// scenario's liveness and delivery facts are in force.
+    pub fn scenario_literal(
+        &mut self,
+        net: &Network,
+        scenario: &FailureScenario,
+    ) -> Result<TermId, EncodeError> {
+        if let Some((_, lit)) = self.scenarios.iter().find(|(s, _)| s == scenario) {
+            return Ok(*lit);
+        }
+        let lit = self.add_scenario(net, scenario)?;
+        self.scenarios.push((scenario.clone(), lit));
+        Ok(lit)
+    }
+
+    /// The assumption set selecting exactly `scenario`: its activation
+    /// literal positively, every other registered scenario's negatively
+    /// (so no foreign delivery facts leak into the check).
+    pub fn assumptions_for(
+        &mut self,
+        net: &Network,
+        scenario: &FailureScenario,
+    ) -> Result<Vec<TermId>, EncodeError> {
+        let lit = self.scenario_literal(net, scenario)?;
+        let others: Vec<TermId> =
+            self.scenarios.iter().map(|(_, l)| *l).filter(|&l| l != lit).collect();
+        let mut out = vec![lit];
+        for l in others {
+            out.push(self.ctx.not(l));
+        }
+        Ok(out)
+    }
+
+    /// Decides whether the encoded invariant is violated under `scenario`,
+    /// as one assumption-based call on the persistent solver. On `Sat` the
+    /// model is available for [`crate::trace::Trace::extract`].
+    pub fn check_scenario(
+        &mut self,
+        net: &Network,
+        scenario: &FailureScenario,
+    ) -> Result<SatResult, EncodeError> {
+        let assumptions = self.assumptions_for(net, scenario)?;
+        Ok(self.ctx.check_assuming(&assumptions))
+    }
+
+    /// Encodes one scenario's facts under a fresh activation literal:
+    /// failed terminals neither send nor process, and live terminals'
+    /// emissions are delivered by this scenario's (re-converged) transfer
+    /// function.
+    fn add_scenario(
+        &mut self,
+        net: &Network,
+        scenario: &FailureScenario,
+    ) -> Result<TermId, EncodeError> {
+        let n = self.scenarios.len();
+        let live = self.ctx.fresh_const(format!("scenario!{n}"), Sort::Bool);
+
+        // Fail-stop: failed hosts never send, failed middleboxes never
+        // process. (The skeleton already restricts senders to hosts and
+        // processors to middleboxes in scope.)
+        for t in 0..self.k {
+            for h in self.hosts.clone() {
+                if !scenario.is_failed(h) {
+                    continue;
+                }
+                let send = self.kind_is(t, KIND_SEND);
+                let ah = self.actor_is(t, h);
+                let acts = self.ctx.and(&[send, ah]);
+                let dead = self.ctx.not(acts);
+                let rule = self.ctx.implies(live, dead);
+                self.ctx.assert(rule);
+            }
+            for m in self.mboxes.clone() {
+                if !scenario.is_failed(m) {
+                    continue;
+                }
+                let pm = self.proc_at(t, m);
+                let dead = self.ctx.not(pm);
+                let rule = self.ctx.implies(live, dead);
+                self.ctx.assert(rule);
+            }
+        }
+
+        // Per-emitter delivery intervals compiled from this scenario's
+        // transfer function, merging adjacent header classes with equal
+        // outcomes. Identical interval lists across scenarios hash-cons to
+        // identical terms, so overlapping scenarios share most of their CNF.
+        let tf = TransferFunction::new(&net.topo, &net.tables, scenario);
+        for f in self.terminals.clone() {
+            if scenario.is_failed(f) {
+                continue;
+            }
+            let mut intervals: Vec<(u32, u32, u64)> = Vec::new();
+            for ci in 0..self.classes.num_classes() {
+                let rep = self.classes.representative(ci);
+                let result = match tf.deliver(f, rep)? {
+                    Some(t) => self.index.get(&t).copied().unwrap_or(self.drop_id),
+                    None => self.drop_id,
+                };
+                let start = rep.0;
+                let end = if ci + 1 < self.classes.num_classes() {
+                    self.classes.representative(ci + 1).0 - 1
+                } else {
+                    u32::MAX
+                };
+                match intervals.last_mut() {
+                    Some(last) if last.2 == result && last.1.wrapping_add(1) == start => {
+                        last.1 = end;
+                    }
+                    _ => intervals.push((start, end, result)),
+                }
+            }
+            intervals.retain(|iv| iv.2 != self.drop_id);
+            for t in 0..self.k {
+                let present = self.steps[t].present;
+                let af = self.actor_is(t, f);
+                let cond = self.ctx.and(&[live, present, af]);
+                let expr = self.delivery_expr(&intervals, self.steps[t].out.dst);
+                let tie = {
+                    let d = self.steps[t].delivered;
+                    self.ctx.eq(d, expr)
+                };
+                let rule = self.ctx.implies(cond, tie);
+                self.ctx.assert(rule);
+            }
+        }
+        Ok(live)
     }
 
     // ---- small term helpers ----------------------------------------------
@@ -437,26 +549,23 @@ impl<'n> Enc<'n> {
     }
 
     fn oracle_var(&mut self, name: &str, t: usize) -> TermId {
-        if let Some(&v) = self.oracle_vars.get(&(name.to_string(), t)) {
+        if let Some(&v) = self.oracles.get(&(name.to_string(), t)) {
             return v;
         }
         let v = self.ctx.fresh_const(format!("{name}@{t}"), Sort::Bool);
-        self.oracle_vars.insert((name.to_string(), t), v);
+        self.oracles.insert((name.to_string(), t), v);
         v
     }
 
     // ---- delivery --------------------------------------------------------
 
-    /// The delivery expression for a packet emitted by `f` with symbolic
-    /// destination `dst`: nested interval tests compiled from the
-    /// transfer function.
-    fn delivery_expr(&mut self, f: NodeId, dst: TermId) -> TermId {
+    /// The delivery expression for a packet with symbolic destination
+    /// `dst` emitted by a terminal with the given delivery intervals:
+    /// nested interval tests compiled from the transfer function.
+    fn delivery_expr(&mut self, intervals: &[(u32, u32, u64)], dst: TermId) -> TermId {
         let drop = self.node_const(self.drop_id);
-        let Some(intervals) = self.deliv.get(&f).cloned() else {
-            return drop;
-        };
         let mut expr = drop;
-        for (start, end, result) in intervals.into_iter().rev() {
+        for &(start, end, result) in intervals.iter().rev() {
             let lo = self.ctx.bv_const(start as u64, ADDR_W);
             let hi = self.ctx.bv_const(end as u64, ADDR_W);
             let ge = self.ctx.bv_ule(lo, dst);
@@ -515,14 +624,14 @@ impl<'n> Enc<'n> {
 
     // ---- the main build --------------------------------------------------
 
-    fn build_steps(&mut self) {
+    fn build_steps(&mut self, net: &Network) {
         for t in 0..self.k {
-            self.constrain_step(t);
+            self.constrain_step(net, t);
         }
         self.constrain_fresh_values();
     }
 
-    fn constrain_step(&mut self, t: usize) {
+    fn constrain_step(&mut self, net: &Network, t: usize) {
         // kind ∈ {IDLE, SEND, PROC}.
         let kv = self.steps[t].kind;
         let two = self.ctx.bv_const(KIND_PROC, 2);
@@ -546,14 +655,14 @@ impl<'n> Enc<'n> {
         let np_drop = self.ctx.implies(not_present, dropped);
         self.ctx.assert(np_drop);
 
-        self.constrain_send(t);
-        self.constrain_proc(t);
-        self.constrain_delivery(t);
+        self.constrain_send(net, t);
+        self.constrain_proc(net, t);
     }
 
-    fn constrain_send(&mut self, t: usize) {
+    fn constrain_send(&mut self, net: &Network, t: usize) {
         let send = self.kind_is(t, KIND_SEND);
-        // The sender must be a live host…
+        // The sender must be a host in scope (scenario activation literals
+        // additionally rule out the hosts failed in the active scenario)…
         let mut actor_ok = Vec::new();
         for h in self.hosts.clone() {
             actor_ok.push(self.actor_is(t, h));
@@ -574,7 +683,7 @@ impl<'n> Enc<'n> {
                 let a = self.actor_is(t, h);
                 self.ctx.and(&[send, a])
             };
-            let addresses: Vec<Address> = self.net.topo.node(h).addresses.clone();
+            let addresses: Vec<Address> = net.topo.node(h).addresses.clone();
             let addr_ok = {
                 let src = self.steps[t].out.src;
                 let opts: Vec<TermId> = addresses
@@ -601,7 +710,7 @@ impl<'n> Enc<'n> {
         }
     }
 
-    fn constrain_proc(&mut self, t: usize) {
+    fn constrain_proc(&mut self, net: &Network, t: usize) {
         let proc = self.kind_is(t, KIND_PROC);
         if t == 0 || self.mboxes.is_empty() {
             // Nothing can be pending at step 0 (and with no middleboxes
@@ -619,7 +728,7 @@ impl<'n> Enc<'n> {
         self.ctx.assert(proc_actor);
 
         for m in self.mboxes.clone() {
-            self.constrain_proc_for_mbox(t, m);
+            self.constrain_proc_for_mbox(net, t, m);
         }
 
         // Bind input fields to the targeted instance (shared across
@@ -637,7 +746,7 @@ impl<'n> Enc<'n> {
         }
     }
 
-    fn constrain_proc_for_mbox(&mut self, t: usize, m: NodeId) {
+    fn constrain_proc_for_mbox(&mut self, net: &Network, t: usize, m: NodeId) {
         let pm = self.proc_at(t, m);
 
         // FIFO target selection: the oldest pending instance.
@@ -663,7 +772,7 @@ impl<'n> Enc<'n> {
         self.ctx.assert(rule);
 
         // Rule guards with first-match semantics.
-        let model = self.net.model(m).clone();
+        let model = net.model(m).clone();
         let input = self.steps[t].input;
         let mut guard_terms = Vec::with_capacity(model.rules.len());
         for r in &model.rules {
@@ -868,8 +977,8 @@ impl<'n> Enc<'n> {
         Some((a, b))
     }
 
-    /// Like [`Enc::bind_witness`] but binds several fields of the matched
-    /// original at once.
+    /// Like [`Encoded::bind_witness`] but binds several fields of the
+    /// matched original at once.
     fn bind_witness_multi(
         &mut self,
         t: usize,
@@ -1027,26 +1136,6 @@ impl<'n> Enc<'n> {
         })
     }
 
-    fn constrain_delivery(&mut self, t: usize) {
-        let present = self.steps[t].present;
-        for f in self.terminals.clone() {
-            if self.scenario.is_failed(f) {
-                continue;
-            }
-            let cond = {
-                let a = self.actor_is(t, f);
-                self.ctx.and(&[present, a])
-            };
-            let expr = self.delivery_expr(f, self.steps[t].out.dst);
-            let tie = {
-                let d = self.steps[t].delivered;
-                self.ctx.eq(d, expr)
-            };
-            let rule = self.ctx.implies(cond, tie);
-            self.ctx.assert(rule);
-        }
-    }
-
     fn constrain_fresh_values(&mut self) {
         // Fresh NAT ports live in the ephemeral range and are pairwise
         // distinct, so they can never collide with host-chosen ports or
@@ -1076,7 +1165,11 @@ impl<'n> Enc<'n> {
         self.ctx.and(&[present, e])
     }
 
-    fn assert_invariant_violation(&mut self, inv: &Invariant) -> Result<(), EncodeError> {
+    fn assert_invariant_violation(
+        &mut self,
+        net: &Network,
+        inv: &Invariant,
+    ) -> Result<(), EncodeError> {
         for n in inv.endpoints() {
             if !self.index.contains_key(&n) {
                 return Err(EncodeError::NodeOutOfScope(n));
@@ -1084,7 +1177,7 @@ impl<'n> Enc<'n> {
         }
         let violation = match inv {
             Invariant::NodeIsolation { src, dst } => {
-                let saddr = self.net.host_address(*src);
+                let saddr = net.host_address(*src);
                 let mut cases = Vec::new();
                 for t in 0..self.k {
                     let r = self.recv_at(*dst, t);
@@ -1095,7 +1188,7 @@ impl<'n> Enc<'n> {
                 self.ctx.or(&cases)
             }
             Invariant::FlowIsolation { src, dst } => {
-                let saddr = self.net.host_address(*src);
+                let saddr = net.host_address(*src);
                 let mut cases = Vec::new();
                 for t in 0..self.k {
                     let r = self.recv_at(*dst, t);
@@ -1126,7 +1219,7 @@ impl<'n> Enc<'n> {
                 self.ctx.or(&cases)
             }
             Invariant::DataIsolation { origin, dst } => {
-                let oaddr = self.net.host_address(*origin);
+                let oaddr = net.host_address(*origin);
                 let mut cases = Vec::new();
                 for t in 0..self.k {
                     let r = self.recv_at(*dst, t);
@@ -1339,5 +1432,30 @@ mod encoder_tests {
         let failed_b = FailureScenario::nodes([b]);
         let mut enc = encode(&net, &failed_b, &[a, b], &inv, 4).unwrap();
         assert_eq!(enc.ctx.check(), SatResult::Unsat, "nobody can spoof b's address");
+    }
+
+    #[test]
+    fn one_encoder_many_scenarios() {
+        // The incremental API answers several scenarios from one encoder,
+        // with verdicts identical to scenario-pinned fresh encoders.
+        let (net, a, b) = two_hosts();
+        let inv = Invariant::NodeIsolation { src: a, dst: b };
+        let scenarios = [
+            FailureScenario::none(),
+            FailureScenario::nodes([a]),
+            FailureScenario::nodes([b]),
+            FailureScenario::none(), // revisit: cached literal, same answer
+        ];
+        let mut enc = encode_incremental(&net, &[a, b], &inv, 4).unwrap();
+        for s in &scenarios {
+            let want = {
+                let mut fresh = encode(&net, s, &[a, b], &inv, 4).unwrap();
+                fresh.ctx.check()
+            };
+            let got = enc.check_scenario(&net, s).unwrap();
+            assert_eq!(got, want, "scenario {s:?}");
+        }
+        // Only three distinct scenarios were registered.
+        assert_eq!(enc.scenarios.len(), 3);
     }
 }

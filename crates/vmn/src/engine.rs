@@ -55,6 +55,11 @@ pub struct VerifyOptions {
     /// Policy classes, if the operator knows them; otherwise they are
     /// computed by partition refinement.
     pub policy_hint: Option<Vec<Vec<NodeId>>>,
+    /// Reuse one solver across the failure scenarios of an invariant via
+    /// per-scenario activation literals (assumption-based solving).
+    /// Disable to rebuild a fresh solver per scenario — the from-scratch
+    /// baseline the `scenario_sweep` bench compares against.
+    pub incremental: bool,
 }
 
 impl Default for VerifyOptions {
@@ -64,6 +69,7 @@ impl Default for VerifyOptions {
             slack: bounds::DEFAULT_SLACK,
             steps_override: None,
             policy_hint: None,
+            incremental: true,
         }
     }
 }
@@ -77,7 +83,7 @@ impl VerifyOptions {
 }
 
 /// Errors surfaced by verification.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum VerifyError {
     Net(NetError),
     Encode(EncodeError),
@@ -129,48 +135,115 @@ impl<'n> Verifier<'n> {
         &self.policy
     }
 
+    /// The per-scenario verification plan: slice (or whole terminal set)
+    /// and trace bound.
+    fn plan(
+        &self,
+        inv: &Invariant,
+        scenario: &FailureScenario,
+    ) -> Result<(Vec<NodeId>, usize), VerifyError> {
+        let mut nodes: Vec<NodeId> = if self.options.use_slices {
+            compute_slice(self.net, scenario, inv, &self.policy)?
+        } else {
+            self.net.topo.terminals().collect()
+        };
+        nodes.sort();
+        nodes.dedup();
+        let k = self.options.steps_override.unwrap_or_else(|| {
+            bounds::trace_bound(self.net, scenario, inv, &nodes, self.options.slack)
+        });
+        Ok((nodes, k))
+    }
+
     /// Verifies a single invariant across all configured failure
     /// scenarios, stopping at the first violation.
+    ///
+    /// By default (`options.incremental`) the sweep is *incremental*: the
+    /// per-scenario slices are united into one node set, one encoder holds
+    /// the scenario-independent formula at the largest required trace
+    /// bound, each scenario contributes only an activation literal plus
+    /// its liveness/delivery facts, and each check is one assumption-based
+    /// call on the persistent solver — clauses learnt refuting scenario
+    /// `n` carry over to scenario `n+1`. (A union of sufficient slices is
+    /// itself sufficient, and a larger trace bound only widens the
+    /// violation search, so verdicts match the per-scenario baseline;
+    /// the differential tests replay every extracted witness on the
+    /// concrete simulator as an additional safeguard.)
     pub fn verify(&self, inv: &Invariant) -> Result<Report, VerifyError> {
         let start = Instant::now();
-        let mut scenarios_checked = 0;
-        let mut encoded_nodes = 0;
-        let mut steps_used = 0;
-        for scenario in self.net.all_scenarios() {
-            scenarios_checked += 1;
-            let nodes: Vec<NodeId> = if self.options.use_slices {
-                compute_slice(self.net, &scenario, inv, &self.policy)?
-            } else {
-                self.net.topo.terminals().collect()
-            };
-            let k = self.options.steps_override.unwrap_or_else(|| {
-                bounds::trace_bound(self.net, &scenario, inv, &nodes, self.options.slack)
-            });
-            encoded_nodes = encoded_nodes.max(nodes.len());
-            steps_used = k;
-            let mut enc = encoder::encode(self.net, &scenario, &nodes, inv, k)?;
-            if enc.ctx.check() == SatResult::Sat {
-                let trace = Trace::extract(&mut enc);
-                return Ok(Report {
-                    invariant: inv.clone(),
-                    verdict: Verdict::Violated { trace, scenario },
-                    elapsed: start.elapsed(),
-                    scenarios_checked,
-                    encoded_nodes,
-                    steps: steps_used,
-                    inherited: false,
-                });
-            }
-        }
-        Ok(Report {
+        let scenarios = self.net.all_scenarios();
+        let report = |verdict, scenarios_checked, encoded_nodes, steps| Report {
             invariant: inv.clone(),
-            verdict: Verdict::Holds,
+            verdict,
             elapsed: start.elapsed(),
             scenarios_checked,
             encoded_nodes,
-            steps: steps_used,
+            steps,
             inherited: false,
-        })
+        };
+
+        if !self.options.incremental {
+            // From-scratch baseline: fresh slice, encoder and solver per
+            // scenario (what the `scenario_sweep` bench compares against).
+            let mut scenarios_checked = 0;
+            let mut encoded_nodes = 0;
+            let mut steps_used = 0;
+            for scenario in scenarios {
+                scenarios_checked += 1;
+                let (nodes, k) = self.plan(inv, &scenario)?;
+                encoded_nodes = encoded_nodes.max(nodes.len());
+                steps_used = k;
+                let mut enc = encoder::encode(self.net, &scenario, &nodes, inv, k)?;
+                if enc.ctx.check() == SatResult::Sat {
+                    let trace = Trace::extract(&mut enc);
+                    let verdict = Verdict::Violated { trace, scenario };
+                    return Ok(report(verdict, scenarios_checked, encoded_nodes, steps_used));
+                }
+            }
+            return Ok(report(Verdict::Holds, scenarios_checked, encoded_nodes, steps_used));
+        }
+
+        // Plan the scenarios up front, then solve the whole sweep on one
+        // persistent encoder over the union of the slices. A plan error
+        // stops planning but must not mask a violation in an *earlier*
+        // scenario (the baseline plans lazily and would have reported it
+        // first), so the planned prefix is still checked before the error
+        // is surfaced.
+        let mut union_nodes: Vec<NodeId> = Vec::new();
+        let mut k = 1;
+        let mut planned = 0;
+        let mut plan_error = None;
+        for scenario in &scenarios {
+            match self.plan(inv, scenario) {
+                Ok((nodes, ks)) => {
+                    union_nodes.extend(nodes);
+                    k = k.max(ks);
+                    planned += 1;
+                }
+                Err(e) => {
+                    plan_error = Some(e);
+                    break;
+                }
+            }
+        }
+        if planned > 0 {
+            union_nodes.sort();
+            union_nodes.dedup();
+            let mut enc = encoder::encode_incremental(self.net, &union_nodes, inv, k)?;
+            let mut scenarios_checked = 0;
+            for scenario in scenarios.into_iter().take(planned) {
+                scenarios_checked += 1;
+                if enc.check_scenario(self.net, &scenario)? == SatResult::Sat {
+                    let trace = Trace::extract(&mut enc);
+                    let verdict = Verdict::Violated { trace, scenario };
+                    return Ok(report(verdict, scenarios_checked, union_nodes.len(), k));
+                }
+            }
+            if plan_error.is_none() {
+                return Ok(report(Verdict::Holds, scenarios_checked, union_nodes.len(), k));
+            }
+        }
+        Err(plan_error.expect("no-error case returned above; scenarios is never empty"))
     }
 
     /// Verifies a set of invariants, exploiting symmetry (one solver run
@@ -215,15 +288,9 @@ impl<'n> Verifier<'n> {
         for (g_idx, group) in groups.iter().enumerate() {
             let rep_report = match &rep_reports[g_idx] {
                 Ok(r) => r.clone(),
-                Err(e) => {
-                    return Err(match e {
-                        VerifyError::Net(n) => VerifyError::Net(n.clone()),
-                        VerifyError::Encode(_) => {
-                            VerifyError::InvalidNetwork("encoding failed".into())
-                        }
-                        VerifyError::InvalidNetwork(s) => VerifyError::InvalidNetwork(s.clone()),
-                    })
-                }
+                // Propagate the representative's real error (encode errors
+                // included — `EncodeError` is cloneable).
+                Err(e) => return Err(e.clone()),
             };
             for (pos, &inv_idx) in group.iter().enumerate() {
                 let mut r = rep_report.clone();
