@@ -166,12 +166,24 @@ pub fn whole(hint: Vec<Vec<NodeId>>) -> VerifyOptions {
 /// that *holds* in every scenario — so a verification sweep visits all
 /// `n + 1` scenarios (no-failure first) instead of stopping early.
 pub fn scenario_sweep_workload(n: usize) -> (Network, Vec<Vec<NodeId>>, Invariant) {
+    let (dc, net) = sweep_datacenter(n, 2);
+    (net, dc.policy_hint(), dc.pair_isolation(0, 1))
+}
+
+/// The §5.1 datacenter (two racks and one host pair per policy group,
+/// redundant middleboxes) with `n` middlebox failure scenarios attached —
+/// the shared substrate of the `scenario_sweep` and `invariant_sweep`
+/// benches.
+fn sweep_datacenter(
+    n: usize,
+    policy_groups: usize,
+) -> (vmn_scenarios::datacenter::Datacenter, Network) {
     use vmn_net::FailureScenario;
     use vmn_scenarios::datacenter::{Datacenter, DatacenterParams};
     let dc = Datacenter::build(DatacenterParams {
-        racks: 4,
+        racks: policy_groups * 2,
         hosts_per_rack: 2,
-        policy_groups: 2,
+        policy_groups,
         redundant: true,
         with_failures: false,
     });
@@ -189,7 +201,79 @@ pub fn scenario_sweep_workload(n: usize) -> (Network, Vec<Vec<NodeId>>, Invarian
     for s in faults.into_iter().take(n) {
         net.add_scenario(s);
     }
-    (net, dc.policy_hint(), dc.pair_isolation(0, 1))
+    (dc, net)
+}
+
+/// Primary workload of the `invariant_sweep` bench and the
+/// `bench_invariants` emitter: the sweep datacenter with *three* policy
+/// groups, `n` failure scenarios, and the paper's §5.1 fleet shape — one
+/// node-isolation and one flow-isolation invariant per *direction* of
+/// every cross-group pair, plus per-group IDPS traversal (15 invariants).
+/// The two directions of a pair share their slice union and trace bound,
+/// so a `verify_all` with session reuse re-enters one warmed-up solver
+/// per (node-set, bound) key instead of building a fresh stack per
+/// representative; no two of them are symmetric (their policy-class
+/// signatures differ), so the symmetry machinery cannot collapse them
+/// and the session layer is genuinely exercised.
+pub fn invariant_sweep_workload(n: usize) -> (Network, Vec<Vec<NodeId>>, Vec<Invariant>) {
+    let (dc, net) = sweep_datacenter(n, 3);
+    let hint = dc.policy_hint();
+    let mut invs = Vec::new();
+    for a in 0..hint.len() {
+        for b in (a + 1)..hint.len() {
+            let (ha, hb) = (hint[a][0], hint[b][0]);
+            invs.push(Invariant::NodeIsolation { src: ha, dst: hb });
+            invs.push(Invariant::NodeIsolation { src: hb, dst: ha });
+            invs.push(Invariant::FlowIsolation { src: ha, dst: hb });
+            invs.push(Invariant::FlowIsolation { src: hb, dst: ha });
+        }
+    }
+    invs.extend(dc.traversal_invariants());
+    (net, hint, invs)
+}
+
+/// Adversarial variant: the two-group sweep datacenter with a mixed fleet
+/// that *includes* data-isolation (trace bound 11, the heaviest query
+/// class). A data-isolation check wears its session past the retirement
+/// threshold, so its direction partner gets a fresh stack and session
+/// reuse degenerates to parity there — this workload keeps the bench
+/// honest about that regime.
+pub fn invariant_sweep_mixed(n: usize) -> (Network, Vec<Vec<NodeId>>, Vec<Invariant>) {
+    let (dc, net) = sweep_datacenter(n, 2);
+    let hint = dc.policy_hint();
+    let (a, b) = (hint[0][0], hint[1][0]);
+    let mut invs = vec![
+        Invariant::NodeIsolation { src: a, dst: b },
+        Invariant::NodeIsolation { src: b, dst: a },
+        Invariant::FlowIsolation { src: a, dst: b },
+        Invariant::FlowIsolation { src: b, dst: a },
+        Invariant::DataIsolation { origin: a, dst: b },
+        Invariant::DataIsolation { origin: b, dst: a },
+    ];
+    invs.extend(dc.traversal_invariants());
+    (net, hint, invs)
+}
+
+/// Enterprise variant of the invariant sweep: the paper's per-subnet-kind
+/// invariant plus its natural direction partners for each kind — egress
+/// node isolation (subnet must not reach the internet), egress flow
+/// isolation (no subnet-initiated flows outbound) and data-leak isolation
+/// (internal data must not surface at the internet host) — so every
+/// subnet contributes a key-sharing family of invariants.
+pub fn invariant_sweep_enterprise() -> (Network, Vec<Vec<NodeId>>, Vec<Invariant>) {
+    use vmn_scenarios::enterprise::{Enterprise, EnterpriseParams, SubnetKind};
+    let e = Enterprise::build(EnterpriseParams { subnets: 3, hosts_per_subnet: 2 });
+    let mut invs = Vec::new();
+    for (kind, inv) in e.invariants() {
+        let host = e.subnet_of_kind(kind).expect("subnet exists")[0];
+        invs.push(inv);
+        invs.push(Invariant::NodeIsolation { src: host, dst: e.internet });
+        if kind == SubnetKind::Private {
+            invs.push(Invariant::FlowIsolation { src: host, dst: e.internet });
+            invs.push(Invariant::DataIsolation { origin: host, dst: e.internet });
+        }
+    }
+    (e.net.clone(), e.policy_hint(), invs)
 }
 
 pub mod figures;

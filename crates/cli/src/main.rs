@@ -117,6 +117,23 @@ fn main() -> ExitCode {
             }
         }
     }
+    // Summary. Inherited reports carry zero elapsed, so the total counts
+    // each solver run exactly once instead of once per symmetry-group
+    // member.
+    let holds = reports.iter().filter(|r| r.verdict.holds()).count();
+    let inherited = reports.iter().filter(|r| r.inherited).count();
+    let total: std::time::Duration = reports.iter().map(|r| r.elapsed).sum();
+    let conflicts: u64 = reports.iter().map(|r| r.solver.conflicts).sum();
+    if !reports.is_empty() {
+        println!(
+            "{} invariants: {} hold, {} violated, {} inherited by symmetry; \
+             solve time {total:?}, {conflicts} conflicts",
+            reports.len(),
+            holds,
+            reports.len() - holds,
+            inherited,
+        );
+    }
     for (spec, pipeline, src, dst) in &cfg.pipelines {
         match verifier.check_pipeline(pipeline, *src, *dst) {
             Ok(None) => println!("HOLDS     {spec}"),

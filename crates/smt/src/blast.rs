@@ -324,6 +324,11 @@ pub struct BlastCaches {
 }
 
 impl BlastCaches {
+    /// The literal a boolean term was lowered to, if it has been lowered.
+    pub(crate) fn lit_for(&self, t: TermId) -> Option<Lit> {
+        self.bool_cache.get(&t).copied()
+    }
+
     /// Truth value of a cached boolean term under the solver's model.
     pub fn bool_value(&self, solver: &Solver, t: TermId) -> Option<bool> {
         self.bool_cache.get(&t).map(|&l| solver.model_value(l.var()) ^ l.is_neg())

@@ -51,7 +51,7 @@ pub mod sorts;
 pub mod term;
 
 pub use model::{Model, Value};
-pub use sat::{Lit, SatResult as CoreSatResult, Var};
+pub use sat::{Lit, SatResult as CoreSatResult, SolverStats, Var};
 pub use solver::{Context, SatResult};
 pub use sorts::{Sort, SortId, SortStore};
 pub use term::{FuncDecl, FuncId, Term, TermId, TermPool};

@@ -37,6 +37,9 @@ impl Value {
 #[derive(Clone, Debug, Default)]
 pub struct Model {
     values: HashMap<TermId, Value>,
+    /// Next class id to hand an unconstrained atom-sorted term. Must be
+    /// seeded past the largest harvested class id, or a fresh class would
+    /// spuriously alias a real congruence class.
     next_fresh_class: u32,
 }
 
@@ -76,8 +79,9 @@ impl Model {
                 crate::sorts::Sort::Bool => Value::Bool(false),
                 crate::sorts::Sort::BitVec(_) => Value::Bv(0),
                 crate::sorts::Sort::Atom(_) => {
+                    let c = self.next_fresh_class;
                     self.next_fresh_class += 1;
-                    Value::Class(u32::MAX - self.next_fresh_class)
+                    Value::Class(c)
                 }
             },
             Term::Not(a) => Value::Bool(!self.eval_bool(pool, a)),
@@ -110,8 +114,9 @@ impl Model {
                 if pool.sort(t).is_bool() {
                     Value::Bool(false)
                 } else {
+                    let c = self.next_fresh_class;
                     self.next_fresh_class += 1;
-                    Value::Class(u32::MAX - self.next_fresh_class)
+                    Value::Class(c)
                 }
             }
         };

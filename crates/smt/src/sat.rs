@@ -288,7 +288,8 @@ fn luby(i: u64) -> u64 {
 }
 
 /// Statistics reported by [`Solver::stats`]. Cumulative over the lifetime
-/// of the solver (incremental solving keeps one solver across many calls).
+/// of the solver (incremental solving keeps one solver across many calls);
+/// use [`SolverStats::delta_since`] to attribute work to a single check.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SolverStats {
     pub decisions: u64,
@@ -297,6 +298,43 @@ pub struct SolverStats {
     pub restarts: u64,
     pub learnt_clauses: u64,
     pub deleted_clauses: u64,
+    /// Clause-arena garbage collections (see [`Solver::compact_arena`]).
+    pub arena_compactions: u64,
+    /// Literal slots reclaimed by arena compactions, cumulative.
+    pub reclaimed_lits: u64,
+}
+
+impl SolverStats {
+    /// Field-wise difference against an earlier snapshot of the same
+    /// solver — the per-check delta on a persistent, cumulative core.
+    pub fn delta_since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            decisions: self.decisions.saturating_sub(earlier.decisions),
+            propagations: self.propagations.saturating_sub(earlier.propagations),
+            conflicts: self.conflicts.saturating_sub(earlier.conflicts),
+            restarts: self.restarts.saturating_sub(earlier.restarts),
+            learnt_clauses: self.learnt_clauses.saturating_sub(earlier.learnt_clauses),
+            deleted_clauses: self.deleted_clauses.saturating_sub(earlier.deleted_clauses),
+            arena_compactions: self.arena_compactions.saturating_sub(earlier.arena_compactions),
+            reclaimed_lits: self.reclaimed_lits.saturating_sub(earlier.reclaimed_lits),
+        }
+    }
+}
+
+impl std::ops::Add for SolverStats {
+    type Output = SolverStats;
+    fn add(self, o: SolverStats) -> SolverStats {
+        SolverStats {
+            decisions: self.decisions + o.decisions,
+            propagations: self.propagations + o.propagations,
+            conflicts: self.conflicts + o.conflicts,
+            restarts: self.restarts + o.restarts,
+            learnt_clauses: self.learnt_clauses + o.learnt_clauses,
+            deleted_clauses: self.deleted_clauses + o.deleted_clauses,
+            arena_compactions: self.arena_compactions + o.arena_compactions,
+            reclaimed_lits: self.reclaimed_lits + o.reclaimed_lits,
+        }
+    }
 }
 
 const VAR_DECAY: f64 = 0.95;
@@ -337,6 +375,9 @@ pub struct Solver {
     stats: SolverStats,
     learnt_refs: Vec<ClauseRef>,
     max_learnts: f64,
+    /// Literal slots occupied by deleted clauses; once a large enough
+    /// fraction of the arena is dead, `reduce_db` compacts it.
+    dead_lits: usize,
     /// Snapshot of the last satisfying assignment (one bool per var);
     /// survives the backtrack-to-zero between incremental calls.
     model: Vec<bool>,
@@ -371,8 +412,19 @@ impl Solver {
             stats: SolverStats::default(),
             learnt_refs: Vec::new(),
             max_learnts: 4000.0,
+            dead_lits: 0,
             model: Vec::new(),
         }
+    }
+
+    /// Overrides the learnt-clause budget that triggers learnt-database
+    /// reduction (default 4000, grown 10% every 1000 conflicts). Lower
+    /// values trade search power for memory — and make long incremental
+    /// sessions lean on clause deletion + arena compaction much sooner,
+    /// which is also how the compaction stress tests exercise the GC
+    /// deterministically.
+    pub fn set_max_learnts(&mut self, limit: f64) {
+        self.max_learnts = limit.max(1.0);
     }
 
     /// Allocates and returns a fresh variable.
@@ -760,11 +812,120 @@ impl Solver {
             let short = self.clauses[r.0 as usize].len <= 2;
             if i < limit && !locked[i] && !short {
                 self.clauses[r.0 as usize].deleted = true;
+                self.dead_lits += self.clauses[r.0 as usize].len as usize;
                 self.stats.deleted_clauses += 1;
             }
         }
         refs.retain(|r| !self.clauses[r.0 as usize].deleted);
         self.learnt_refs = refs;
+        // Deleted clauses leave their literals behind in the arena; once a
+        // third of it is dead, copy the survivors into a fresh arena so
+        // very long incremental sessions stay memory-bounded.
+        if self.dead_lits * 3 >= self.arena.len() && self.arena.len() >= 1024 {
+            self.compact_arena();
+        }
+    }
+
+    /// Deletes every learnt clause containing one of the given literals
+    /// — with exactly that polarity — (unless it is currently the reason
+    /// of an assigned literal), then compacts the arena if enough
+    /// literals died. Incremental sessions use this when a sub-query is
+    /// deselected: pass the literal the standing assumptions will keep
+    /// *true* (e.g. `¬activation`) — clauses containing it are
+    /// permanently satisfied, so they can prune nothing yet still cost
+    /// watch-list traversals on every propagation. Clauses mentioning
+    /// only the opposite polarity keep pruning and are kept. Must be
+    /// called at decision level zero.
+    pub fn forget_learnts_with(&mut self, lits: &[Lit]) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut mark = vec![false; 2 * self.num_vars()];
+        for l in lits {
+            mark[l.index()] = true;
+        }
+        let mut refs = std::mem::take(&mut self.learnt_refs);
+        refs.retain(|r| {
+            let meta = &self.clauses[r.0 as usize];
+            let (s, l) = (meta.start as usize, meta.len as usize);
+            if !self.arena[s..s + l].iter().any(|&q| mark[q.index()]) {
+                return true;
+            }
+            // Locked clauses (reasons of assigned literals) must survive.
+            let first = self.arena[s];
+            if self.value(first) == LBool::True && self.reason[first.var().index()] == Some(*r) {
+                return true;
+            }
+            self.clauses[r.0 as usize].deleted = true;
+            self.dead_lits += l;
+            self.stats.deleted_clauses += 1;
+            false
+        });
+        self.learnt_refs = refs;
+        if self.dead_lits * 3 >= self.arena.len() && self.arena.len() >= 1024 {
+            self.compact_arena();
+        }
+    }
+
+    /// Current length of the clause arena in literal slots (live + dead).
+    /// Exposed so callers (and the GC tests) can observe that compaction
+    /// keeps long incremental sessions bounded.
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// MiniSat-style clause garbage collection: copies every live clause
+    /// into a fresh arena, drops deleted ones, and remaps watch lists,
+    /// reason references and the learnt-clause index to the new
+    /// [`ClauseRef`] numbering.
+    ///
+    /// Safe at any point of the search: clause literal windows are copied
+    /// verbatim (watched literals stay at positions 0 and 1), so the
+    /// two-watched-literal invariant and the trail's reason clauses carry
+    /// over unchanged. `reduce_db` never deletes a clause that is the
+    /// reason of an assigned literal, so every reason survives.
+    pub fn compact_arena(&mut self) {
+        let mut remap: Vec<u32> = vec![u32::MAX; self.clauses.len()];
+        let mut arena: Vec<Lit> =
+            Vec::with_capacity(self.arena.len().saturating_sub(self.dead_lits));
+        let mut clauses: Vec<ClauseMeta> = Vec::with_capacity(self.clauses.len());
+        for (i, m) in self.clauses.iter().enumerate() {
+            if m.deleted {
+                continue;
+            }
+            remap[i] = clauses.len() as u32;
+            let start = arena.len() as u32;
+            arena.extend_from_slice(&self.arena[m.start as usize..(m.start + m.len) as usize]);
+            clauses.push(ClauseMeta {
+                start,
+                len: m.len,
+                learnt: m.learnt,
+                deleted: false,
+                activity: m.activity,
+            });
+        }
+        self.stats.reclaimed_lits += (self.arena.len() - arena.len()) as u64;
+        self.arena = arena;
+        self.clauses = clauses;
+        for list in &mut self.watches {
+            list.retain_mut(|w| {
+                let n = remap[w.cref.0 as usize];
+                w.cref = ClauseRef(n);
+                n != u32::MAX
+            });
+        }
+        for r in &mut self.reason {
+            if let Some(cref) = r {
+                let n = remap[cref.0 as usize];
+                debug_assert_ne!(n, u32::MAX, "a reason clause is locked and never deleted");
+                *cref = ClauseRef(n);
+            }
+        }
+        for r in &mut self.learnt_refs {
+            let n = remap[r.0 as usize];
+            debug_assert_ne!(n, u32::MAX, "reduce_db drops deleted refs before compaction");
+            *r = ClauseRef(n);
+        }
+        self.dead_lits = 0;
+        self.stats.arena_compactions += 1;
     }
 
     /// Announces to the theory every trail literal from `theory_head`
@@ -1272,6 +1433,205 @@ mod tests {
         s.add_clause(&lits(&vs, &[-1]));
         assert_eq!(s.solve_pure(), SatResult::Unsat);
         assert_eq!(s.solve_pure_assuming(&lits(&vs, &[2])), SatResult::Unsat);
+    }
+
+    // ---- clause-arena garbage collection --------------------------------
+
+    /// Guarded pigeonhole: UNSAT under `g`, SAT under `¬g`. Returns the
+    /// solver and the guard variable.
+    fn guarded_pigeonhole(s: &mut Solver, n: usize) -> Var {
+        let g = s.new_var();
+        let pigeons = n + 1;
+        let vars: Vec<Vec<Var>> =
+            (0..pigeons).map(|_| (0..n).map(|_| s.new_var()).collect()).collect();
+        for p in 0..pigeons {
+            let mut cl: Vec<Lit> = (0..n).map(|h| Lit::pos(vars[p][h])).collect();
+            cl.push(Lit::neg(g));
+            s.add_clause(&cl);
+        }
+        for h in 0..n {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    s.add_clause(&[Lit::neg(vars[p1][h]), Lit::neg(vars[p2][h]), Lit::neg(g)]);
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn compaction_remaps_watches_and_reasons() {
+        // Learn real clauses, then delete a batch by hand (mimicking
+        // reduce_db) and compact with a live level-zero trail: watch
+        // lists and reason references must survive the renumbering, so
+        // every later verdict is unchanged.
+        let mut s = Solver::new();
+        let g = guarded_pigeonhole(&mut s, 5);
+        assert_eq!(s.solve_pure_assuming(&[Lit::pos(g)]), SatResult::Unsat);
+        assert!(s.stats().learnt_clauses > 0, "pigeonhole forces learning");
+
+        let refs: Vec<ClauseRef> = s.learnt_refs.clone();
+        for r in refs.iter().step_by(2) {
+            let first = s.lit_at(*r, 0);
+            let locked = s.value(first) == LBool::True && s.reason[first.var().index()] == Some(*r);
+            if locked || s.clauses[r.0 as usize].len <= 2 {
+                continue;
+            }
+            s.clauses[r.0 as usize].deleted = true;
+            s.dead_lits += s.clauses[r.0 as usize].len as usize;
+        }
+        let mut live = std::mem::take(&mut s.learnt_refs);
+        live.retain(|r| !s.clauses[r.0 as usize].deleted);
+        s.learnt_refs = live;
+        assert!(s.dead_lits > 0, "some learnt clause must be deletable");
+
+        let before = s.arena_len();
+        s.compact_arena();
+        assert!(s.arena_len() < before, "compaction reclaims dead literals");
+        assert_eq!(s.stats().arena_compactions, 1);
+        assert_eq!(s.stats().reclaimed_lits as usize, before - s.arena_len());
+        assert_eq!(s.dead_lits, 0);
+
+        // Search still behaves identically after the renumbering.
+        assert_eq!(s.solve_pure_assuming(&[Lit::pos(g)]), SatResult::Unsat);
+        assert_eq!(s.solve_pure_assuming(&[Lit::neg(g)]), SatResult::Sat);
+        assert_eq!(s.solve_pure(), SatResult::Sat);
+    }
+
+    #[test]
+    fn forget_learnts_is_polarity_aware() {
+        // Refuting the pigeonhole under `g` learns clauses tagged with
+        // ¬g (the falsified guard literal from the original clauses).
+        // Deselecting g for good (assuming ¬g from now on) makes exactly
+        // those clauses permanently satisfied: forgetting by the literal
+        // ¬g must delete them, while forgetting by the literal g — the
+        // polarity that would still prune — must delete nothing.
+        let mut s = Solver::new();
+        let g = guarded_pigeonhole(&mut s, 5);
+        assert_eq!(s.solve_pure_assuming(&[Lit::pos(g)]), SatResult::Unsat);
+        let learnt_before = s.learnt_refs.len();
+        assert!(learnt_before > 0, "pigeonhole forces learning");
+        let tagged =
+            s.learnt_refs.iter().filter(|r| s.clause_lits(**r).contains(&Lit::neg(g))).count();
+        assert!(tagged > 0, "guard tagging must occur");
+
+        s.forget_learnts_with(&[Lit::pos(g)]);
+        assert_eq!(s.learnt_refs.len(), learnt_before, "wrong polarity must not delete");
+        s.forget_learnts_with(&[Lit::neg(g)]);
+        assert!(s.learnt_refs.len() < learnt_before, "¬g-tagged clauses must be deleted");
+        // Every surviving ¬g-tagged clause must be locked (the reason of
+        // a currently-assigned literal) — nothing else may linger.
+        for r in &s.learnt_refs {
+            if s.clause_lits(*r).contains(&Lit::neg(g)) {
+                let first = s.lit_at(*r, 0);
+                assert!(
+                    s.value(first) == LBool::True && s.reason[first.var().index()] == Some(*r),
+                    "unlocked ¬g-tagged clause survived the forget"
+                );
+            }
+        }
+        // Verdicts unchanged: learnt clauses are redundant by construction.
+        assert_eq!(s.solve_pure_assuming(&[Lit::pos(g)]), SatResult::Unsat);
+        assert_eq!(s.solve_pure_assuming(&[Lit::neg(g)]), SatResult::Sat);
+    }
+
+    #[test]
+    fn long_incremental_session_arena_stays_bounded() {
+        // Many guarded pigeonhole instances solved on ONE solver with a
+        // tiny learnt budget: reduce_db keeps deleting, the arena keeps
+        // accumulating dead literals, and the mid-search compaction
+        // trigger must fire — without changing a single verdict.
+        let mut s = Solver::new();
+        s.set_max_learnts(30.0);
+        let guards: Vec<Var> = (0..8).map(|_| guarded_pigeonhole(&mut s, 5)).collect();
+        for (i, &g) in guards.iter().enumerate() {
+            let mut assumptions = vec![Lit::pos(g)];
+            assumptions.extend(guards.iter().take(i).map(|&h| Lit::neg(h)));
+            assert_eq!(s.solve_pure_assuming(&assumptions), SatResult::Unsat, "php {i}");
+        }
+        assert!(s.stats().deleted_clauses > 0, "low budget must force deletions");
+        assert!(s.stats().arena_compactions >= 1, "the GC trigger must have fired");
+        // The trigger's invariant: never more than a third of a
+        // non-trivial arena is dead.
+        assert!(
+            s.dead_lits * 3 < s.arena_len() || s.arena_len() < 1024,
+            "arena unbounded: {} dead of {}",
+            s.dead_lits,
+            s.arena_len()
+        );
+        // Verdicts are stable on re-query, and the solver is still
+        // globally consistent.
+        for &g in &guards {
+            assert_eq!(s.solve_pure_assuming(&[Lit::pos(g)]), SatResult::Unsat);
+        }
+        let all_off: Vec<Lit> = guards.iter().map(|&g| Lit::neg(g)).collect();
+        assert_eq!(s.solve_pure_assuming(&all_off), SatResult::Sat);
+    }
+
+    #[test]
+    fn compaction_under_low_budget_matches_bruteforce() {
+        // Differential: guarded random 3-CNF instances accumulate on one
+        // low-budget solver; deletion + compaction must never change an
+        // answer versus exhaustive enumeration of each instance.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut s = Solver::new();
+        s.set_max_learnts(15.0);
+        let mut guards: Vec<Var> = Vec::new();
+        for round in 0..30 {
+            let nv = 6 + (next() % 5) as usize; // 6..=10 vars
+            let nc = 20 + (next() % 25) as usize;
+            // A previous SAT call leaves its assignment in place; rewind
+            // so the new clauses are added at decision level zero.
+            s.backtrack_to_base(&mut NoTheory);
+            let g = s.new_var();
+            let vs = n_vars(&mut s, nv);
+            let clauses: Vec<Vec<i32>> = (0..nc)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| {
+                            let var = (next() % nv as u32) as i32 + 1;
+                            if next() % 2 == 0 {
+                                var
+                            } else {
+                                -var
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            for cl in &clauses {
+                let mut lits = lits(&vs, cl);
+                lits.push(Lit::neg(g));
+                s.add_clause(&lits);
+            }
+            let brute = (0..(1u32 << nv)).any(|m| {
+                clauses.iter().all(|cl| {
+                    cl.iter().any(|&l| {
+                        let bit = (m >> (l.unsigned_abs() - 1)) & 1 == 1;
+                        if l > 0 {
+                            bit
+                        } else {
+                            !bit
+                        }
+                    })
+                })
+            });
+            let mut assumptions = vec![Lit::pos(g)];
+            assumptions.extend(guards.iter().map(|&h| Lit::neg(h)));
+            let got = s.solve_pure_assuming(&assumptions) == SatResult::Sat;
+            assert_eq!(got, brute, "round {round} diverged from brute force");
+            // Compact while the satisfying assignment (and its reason
+            // references) is still on the trail — the automatic trigger
+            // fires in exactly such mid-search states from reduce_db.
+            s.compact_arena();
+            guards.push(g);
+        }
+        assert!(s.stats().arena_compactions >= 30, "every round must have compacted");
+        assert!(s.stats().deleted_clauses > 0, "low budget must force deletions");
     }
 
     #[test]

@@ -37,6 +37,9 @@ pub struct Context {
     assertions: Vec<TermId>,
     model: Option<Model>,
     stats: SolverStats,
+    /// Work done by the most recent check alone (stats delta around the
+    /// solve call) — per-check attribution on the cumulative core.
+    last_check: SolverStats,
     /// Persistent CDCL core; learnt clauses, activities and phases carry
     /// over between checks.
     sat: Solver,
@@ -67,6 +70,7 @@ impl Context {
             assertions: Vec::new(),
             model: None,
             stats: SolverStats::default(),
+            last_check: SolverStats::default(),
             sat: Solver::new(),
             euf: Euf::new(),
             caches: None,
@@ -92,9 +96,19 @@ impl Context {
     }
 
     /// Solver statistics, cumulative over every check this context ran
-    /// (the CDCL core is persistent).
+    /// (the CDCL core is persistent). Snapshot it before a check and use
+    /// [`SolverStats::delta_since`] — or read [`Context::last_check_stats`]
+    /// — to attribute work to individual checks.
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+
+    /// Work done by the most recent [`Context::check`] /
+    /// [`Context::check_assuming`] alone (a delta over the cumulative
+    /// [`Context::stats`]), so callers sharing one long-lived context
+    /// across many queries can attribute cost per check.
+    pub fn last_check_stats(&self) -> SolverStats {
+        self.last_check
     }
 
     // ---- term construction conveniences (delegate to the pool) ----------
@@ -216,6 +230,7 @@ impl Context {
     /// one `check_assuming` call per scenario, zero re-encoding.
     pub fn check_assuming(&mut self, assumptions: &[TermId]) -> SatResult {
         self.model = None;
+        let stats_before = self.sat.stats();
         // Rewind to the base level: drops the previous call's assignment
         // (theory included) so that clause and term additions are legal.
         self.sat.backtrack_to_base(&mut self.euf);
@@ -263,6 +278,7 @@ impl Context {
 
         let result = self.sat.solve_with_assumptions(&assumption_lits, &mut self.euf);
         self.stats = self.sat.stats();
+        self.last_check = self.stats.delta_since(&stats_before);
         let out = match result {
             CoreResult::Unsat => SatResult::Unsat,
             CoreResult::Sat => {
@@ -289,13 +305,46 @@ impl Context {
                         }
                     }
                 }
-                self.model = Some(Model::new(values, 0));
+                // Seed the model's fresh-class counter past every
+                // harvested EUF class id: an *unconstrained* atom-sorted
+                // term evaluated later must receive a class distinct from
+                // every constrained one, not a spurious alias of a real
+                // congruence class.
+                let next_fresh_class = values
+                    .values()
+                    .filter_map(|v| match v {
+                        Value::Class(c) => Some(c + 1),
+                        _ => None,
+                    })
+                    .max()
+                    .unwrap_or(0);
+                self.model = Some(Model::new(values, next_fresh_class));
                 self.sat.backtrack_to_base(&mut self.euf);
                 SatResult::Sat
             }
         };
         self.caches = Some(caches);
         out
+    }
+
+    /// Forgets every learnt clause rendered dead by the given boolean
+    /// terms being *deselected* (assumed false from now on) — typically
+    /// activation literals of sub-queries a session has moved past. A
+    /// learnt clause containing the term's negation is satisfied while
+    /// the term is assumed false, hence prunes nothing yet still costs
+    /// watch-list traversals on every propagation; clauses mentioning
+    /// the term only positively (lemmas learnt *while* it was
+    /// deselected) keep pruning under the standing assumption and are
+    /// kept. Terms never lowered to a literal are ignored. A no-op
+    /// before the first check.
+    pub fn forget_learnts_mentioning(&mut self, terms: &[TermId]) {
+        let Some(caches) = &self.caches else { return };
+        let dead: Vec<Lit> = terms.iter().filter_map(|&t| caches.lit_for(t)).map(|l| !l).collect();
+        if dead.is_empty() {
+            return;
+        }
+        self.sat.backtrack_to_base(&mut self.euf);
+        self.sat.forget_learnts_with(&dead);
     }
 
     /// The model from the last `check`, if it returned [`SatResult::Sat`].
@@ -478,6 +527,64 @@ mod tests {
         assert_eq!(ctx.check_assuming(&[ng]), SatResult::Sat);
         assert!(ctx.eval_bv(x) >= 12);
         assert_eq!(ctx.check(), SatResult::Sat);
+    }
+
+    #[test]
+    fn unconstrained_atoms_never_alias_harvested_classes() {
+        // Regression: the model's fresh-class counter must be seeded past
+        // every class id harvested from the EUF engine, otherwise an
+        // unconstrained atom-sorted term evaluated later can be handed a
+        // class spuriously equal to a real congruence class.
+        let mut ctx = Context::new();
+        let u = ctx.sorts_mut().declare("U");
+        let a = ctx.fresh_const("a", u);
+        let b = ctx.fresh_const("b", u);
+        let c = ctx.fresh_const("c", u);
+        let d = ctx.fresh_const("d", u);
+        let nd = {
+            let e = ctx.eq(c, d);
+            ctx.not(e)
+        };
+        let ab = ctx.eq(a, b);
+        ctx.assert(ab);
+        ctx.assert(nd);
+        // Terms never mentioned in any assertion: no harvested value.
+        let frees: Vec<TermId> = (0..6).map(|i| ctx.fresh_const(format!("f{i}"), u)).collect();
+        assert_eq!(ctx.check(), SatResult::Sat);
+        let va = ctx.eval(a);
+        assert_eq!(va, ctx.eval(b), "constrained equality must harvest one class");
+        let constrained = [va, ctx.eval(c), ctx.eval(d)];
+        let mut seen: Vec<Value> = constrained.to_vec();
+        for &f in &frees {
+            let vf = ctx.eval(f);
+            assert!(!seen.contains(&vf), "unconstrained atom got class {vf:?}, aliasing {seen:?}");
+            seen.push(vf);
+        }
+    }
+
+    #[test]
+    fn per_check_stats_deltas() {
+        let mut ctx = Context::new();
+        let x = ctx.fresh_const("x", Sort::bitvec(8));
+        let y = ctx.fresh_const("y", Sort::bitvec(8));
+        let e = ctx.eq(x, y);
+        ctx.assert(e);
+        assert_eq!(ctx.check(), SatResult::Sat);
+        let first = ctx.last_check_stats();
+        let cumulative = ctx.stats();
+        assert!(first.propagations > 0 || first.decisions > 0, "first check does real work");
+        let ne = {
+            let eq = ctx.eq(x, y);
+            ctx.not(eq)
+        };
+        ctx.assert(ne);
+        assert_eq!(ctx.check(), SatResult::Unsat);
+        let second = ctx.last_check_stats();
+        let total = ctx.stats();
+        // The deltas partition the cumulative counters.
+        assert_eq!(first.decisions + second.decisions, total.decisions);
+        assert_eq!(first.conflicts + second.conflicts, total.conflicts);
+        assert_eq!(total.delta_since(&cumulative).decisions, second.decisions);
     }
 
     #[test]

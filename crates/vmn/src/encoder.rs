@@ -22,18 +22,21 @@
 //! and routing has already re-converged (backup rules) — the paper's
 //! per-failure-condition transfer functions.
 //!
-//! ## Incremental failure scenarios
+//! ## Incremental failure scenarios and invariants
 //!
-//! One [`Encoded`] instance serves *every* failure scenario of a sweep.
-//! The skeleton built by [`encode_incremental`] — step semantics, FIFO
-//! ordering, middlebox models, history formulas, the negated invariant —
-//! is scenario-independent. Everything a scenario changes (which terminals
-//! are alive, where the re-converged routing delivers) is asserted under a
-//! per-scenario *activation literal* by [`Encoded::scenario_literal`], and
-//! a sweep issues one [`Encoded::check_scenario`] (an assumption-based
-//! solver call) per scenario. The solver, its learnt clauses and the
-//! bit-blasting caches persist across the whole sweep, so scenario `n+1`
-//! pays only for what distinguishes it from scenarios `1..n`.
+//! One [`Encoded`] instance serves *every* failure scenario of a sweep —
+//! and, through the session layer, every invariant sharing its node set
+//! and trace bound. The skeleton built by [`encode_skeleton`] — step
+//! semantics, FIFO ordering, middlebox models, history formulas — depends
+//! on neither. Everything a scenario changes (which terminals are alive,
+//! where the re-converged routing delivers) is asserted under a
+//! per-scenario *activation literal* by [`Encoded::scenario_literal`];
+//! each invariant's violation formula is likewise guarded by a
+//! per-invariant literal ([`Encoded::invariant_literal`]), and one
+//! [`Encoded::check_invariant_scenario`] (an assumption-based solver
+//! call) decides any registered pair. The solver, its learnt clauses and
+//! the bit-blasting caches persist across the whole session, so each
+//! check pays only for what distinguishes it from the checks before it.
 //!
 //! Middlebox state is never materialised: membership queries compile to
 //! *history formulas* — "some earlier step processed a matching insert" —
@@ -199,9 +202,24 @@ pub fn encode_incremental(
     inv: &Invariant,
     k: usize,
 ) -> Result<Encoded, EncodeError> {
+    let mut enc = encode_skeleton(net, nodes, k)?;
+    let violated = enc.invariant_violation(net, inv)?;
+    enc.ctx.assert(violated);
+    enc.violation_asserted = true;
+    Ok(enc)
+}
+
+/// Builds the invariant-free *skeleton* over `nodes` at trace bound `k`:
+/// step semantics, FIFO ordering and middlebox models — everything both
+/// the failure scenarios *and* the invariants hang off. This is the unit
+/// the verifier's solver sessions cache and re-enter: invariants are
+/// attached behind activation literals by [`Encoded::invariant_literal`],
+/// scenarios by [`Encoded::scenario_literal`], and one
+/// [`Encoded::check_invariant_scenario`] call decides any registered
+/// (invariant, scenario) pair on the persistent solver.
+pub fn encode_skeleton(net: &Network, nodes: &[NodeId], k: usize) -> Result<Encoded, EncodeError> {
     let mut enc = Encoded::new(net, nodes, k)?;
     enc.build_steps(net);
-    enc.assert_invariant_violation(net, inv)?;
     Ok(enc)
 }
 
@@ -234,6 +252,13 @@ pub struct Encoded {
     mboxes: Vec<NodeId>,
     /// Activation literal per registered failure scenario.
     scenarios: Vec<(FailureScenario, TermId)>,
+    /// Activation literal per registered invariant (cross-invariant
+    /// session reuse: one skeleton serves many invariants).
+    invariants: Vec<(Invariant, TermId)>,
+    /// Whether an invariant's violation formula was asserted *directly*
+    /// (the [`encode_incremental`] / [`encode`] path) — required by the
+    /// invariant-less [`Encoded::check_scenario`] entry point.
+    violation_asserted: bool,
     // ---- build-time state ----------------------------------------------
     insert_sites: Vec<InsertSite>,
     /// pending(m, i, t): delivered-to-m(i) ∧ not processed before t.
@@ -310,6 +335,8 @@ impl Encoded {
             hosts,
             mboxes,
             scenarios: Vec::new(),
+            invariants: Vec::new(),
+            violation_asserted: false,
             insert_sites: Vec::new(),
             pending_memo: HashMap::new(),
             processed_memo: HashMap::new(),
@@ -356,12 +383,84 @@ impl Encoded {
     /// Decides whether the encoded invariant is violated under `scenario`,
     /// as one assumption-based call on the persistent solver. On `Sat` the
     /// model is available for [`crate::trace::Trace::extract`].
+    ///
+    /// Only meaningful on encoders built by [`encode`] /
+    /// [`encode_incremental`], where the invariant's violation is
+    /// asserted directly. On a bare [`encode_skeleton`] (or a pooled
+    /// session with literal-guarded invariants) a bare scenario check
+    /// would be trivially satisfiable — use
+    /// [`Encoded::check_invariant_scenario`] there instead.
     pub fn check_scenario(
         &mut self,
         net: &Network,
         scenario: &FailureScenario,
     ) -> Result<SatResult, EncodeError> {
+        debug_assert!(
+            self.violation_asserted,
+            "check_scenario on a skeleton without an asserted invariant; \
+             use check_invariant_scenario"
+        );
         let assumptions = self.assumptions_for(net, scenario)?;
+        Ok(self.ctx.check_assuming(&assumptions))
+    }
+
+    /// Activation literal of `inv`, registering (and encoding) the
+    /// invariant's violation formula on first use: the literal *implies*
+    /// the violation, so assuming it true selects the invariant while
+    /// other registered invariants stay inert.
+    pub fn invariant_literal(
+        &mut self,
+        net: &Network,
+        inv: &Invariant,
+    ) -> Result<TermId, EncodeError> {
+        if let Some((_, lit)) = self.invariants.iter().find(|(i, _)| i == inv) {
+            return Ok(*lit);
+        }
+        let n = self.invariants.len();
+        if n > 0 {
+            // A new invariant enters a warmed-up session. Learnt clauses
+            // that mention an earlier invariant's activation literal are
+            // satisfied (hence useless) while that literal is assumed
+            // false, yet they still drag propagation through their watch
+            // lists — forget them. Untagged skeleton/scenario lemmas are
+            // the cross-invariant payoff and stay.
+            let tags: Vec<TermId> = self.invariants.iter().map(|(_, l)| *l).collect();
+            self.ctx.forget_learnts_mentioning(&tags);
+        }
+        let lit = self.ctx.fresh_const(format!("invariant!{n}"), Sort::Bool);
+        let violated = self.invariant_violation(net, inv)?;
+        let rule = self.ctx.implies(lit, violated);
+        self.ctx.assert(rule);
+        self.invariants.push((inv.clone(), lit));
+        Ok(lit)
+    }
+
+    /// Number of invariants registered on this skeleton so far.
+    pub fn num_registered_invariants(&self) -> usize {
+        self.invariants.len()
+    }
+
+    /// Decides whether `inv` is violated under `scenario`, as one
+    /// assumption-based call on the persistent solver: the invariant's
+    /// activation literal is assumed true (and every other registered
+    /// invariant's false, so their violation obligations cannot constrain
+    /// the search) on top of the scenario assumption set. On `Sat` the
+    /// model is a witness trace for exactly this (invariant, scenario)
+    /// pair, extractable with [`crate::trace::Trace::extract`].
+    pub fn check_invariant_scenario(
+        &mut self,
+        net: &Network,
+        inv: &Invariant,
+        scenario: &FailureScenario,
+    ) -> Result<SatResult, EncodeError> {
+        let lit = self.invariant_literal(net, inv)?;
+        let mut assumptions = self.assumptions_for(net, scenario)?;
+        assumptions.push(lit);
+        let others: Vec<TermId> =
+            self.invariants.iter().map(|(_, l)| *l).filter(|&l| l != lit).collect();
+        for l in others {
+            assumptions.push(self.ctx.not(l));
+        }
         Ok(self.ctx.check_assuming(&assumptions))
     }
 
@@ -1165,11 +1264,17 @@ impl Encoded {
         self.ctx.and(&[present, e])
     }
 
-    fn assert_invariant_violation(
+    /// Builds the violation formula for `inv` and returns it as a term
+    /// (asserted directly by [`encode_incremental`], or guarded behind an
+    /// activation literal by [`Encoded::invariant_literal`]). Definitional
+    /// side constraints over invariant-private fresh variables (e.g. the
+    /// traversal provenance bits) are asserted unconditionally — they
+    /// constrain nothing once the invariant is deselected.
+    fn invariant_violation(
         &mut self,
         net: &Network,
         inv: &Invariant,
-    ) -> Result<(), EncodeError> {
+    ) -> Result<TermId, EncodeError> {
         for n in inv.endpoints() {
             if !self.index.contains_key(&n) {
                 return Err(EncodeError::NodeOutOfScope(n));
@@ -1294,8 +1399,7 @@ impl Encoded {
                 self.ctx.or(&cases)
             }
         };
-        self.ctx.assert(violation);
-        Ok(())
+        Ok(violation)
     }
 }
 
@@ -1457,5 +1561,43 @@ mod encoder_tests {
         }
         // Only three distinct scenarios were registered.
         assert_eq!(enc.scenarios.len(), 3);
+    }
+
+    #[test]
+    fn one_skeleton_many_invariants_and_scenarios() {
+        // The session API answers every (invariant, scenario) pair from
+        // ONE skeleton, with verdicts identical to invariant-pinned fresh
+        // encoders — the core soundness claim behind cross-invariant
+        // solver reuse.
+        let (net, a, b) = two_hosts();
+        let invs = [
+            Invariant::NodeIsolation { src: a, dst: b },
+            Invariant::NodeIsolation { src: b, dst: a },
+            Invariant::DataIsolation { origin: a, dst: b },
+        ];
+        let scenarios =
+            [FailureScenario::none(), FailureScenario::nodes([a]), FailureScenario::nodes([b])];
+        let mut enc = encode_skeleton(&net, &[a, b], 4).unwrap();
+        for inv in &invs {
+            for s in &scenarios {
+                let want = {
+                    let mut fresh = encode(&net, s, &[a, b], inv, 4).unwrap();
+                    fresh.ctx.check()
+                };
+                let got = enc.check_invariant_scenario(&net, inv, s).unwrap();
+                assert_eq!(got, want, "{inv:?} under {s:?}");
+            }
+        }
+        assert_eq!(enc.num_registered_invariants(), 3);
+        // Revisits (reverse order) hit the cached literals and still agree.
+        for inv in invs.iter().rev() {
+            let none = FailureScenario::none();
+            let want = {
+                let mut fresh = encode(&net, &none, &[a, b], inv, 4).unwrap();
+                fresh.ctx.check()
+            };
+            assert_eq!(enc.check_invariant_scenario(&net, inv, &none).unwrap(), want);
+        }
+        assert_eq!(enc.num_registered_invariants(), 3);
     }
 }

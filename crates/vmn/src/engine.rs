@@ -1,15 +1,17 @@
 //! The verification engine: slices → bounded encoding → SMT → verdicts.
 
 use crate::bounds;
-use crate::encoder::{self, EncodeError};
+use crate::encoder::{self, EncodeError, Encoded};
 use crate::invariant::Invariant;
 use crate::network::Network;
 use crate::policy::{group_by_symmetry, PolicyClasses};
 use crate::slice::compute_slice;
 use crate::trace::Trace;
+use std::collections::HashMap;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use vmn_net::{FailureScenario, NetError, NodeId};
-use vmn_smt::SatResult;
+use vmn_smt::{SatResult, SolverStats};
 
 /// Outcome of verifying one invariant.
 #[derive(Clone, Debug)]
@@ -31,16 +33,30 @@ impl Verdict {
 pub struct Report {
     pub invariant: Invariant,
     pub verdict: Verdict,
+    /// Wall-clock time spent verifying this invariant. Zero for inherited
+    /// reports, so summing `elapsed` over a run counts each solver run
+    /// exactly once.
     pub elapsed: Duration,
     /// Number of failure scenarios checked (stops early on violation).
     pub scenarios_checked: usize,
-    /// Terminals in the (largest) encoded node set.
+    /// Terminals in the largest node set encoded for this invariant:
+    /// the union of the per-scenario slices in the incremental engine,
+    /// the max over scenarios in the from-scratch baseline (equal
+    /// whenever the scenarios' slices nest, and never smaller in the
+    /// incremental engine).
     pub encoded_nodes: usize,
-    /// Trace bound used for the (last) encoding.
+    /// Largest trace bound used across this invariant's encodings
+    /// (the max over planned scenarios, in both engines — the baseline
+    /// reports the max over the scenarios it actually checked, so the
+    /// values coincide whenever both engines sweep the same prefix).
     pub steps: usize,
     /// Whether the verdict was inherited from a symmetric representative
     /// instead of being verified directly.
     pub inherited: bool,
+    /// Solver work attributable to this invariant's checks alone —
+    /// per-check stats deltas off the (possibly shared, cross-invariant)
+    /// solver session. Zero for inherited reports.
+    pub solver: SolverStats,
 }
 
 /// Engine configuration.
@@ -60,6 +76,15 @@ pub struct VerifyOptions {
     /// Disable to rebuild a fresh solver per scenario — the from-scratch
     /// baseline the `scenario_sweep` bench compares against.
     pub incremental: bool,
+    /// Reuse live solver sessions *across invariants*: `verify` checks a
+    /// session out of the verifier's pool keyed by (node-set, trace
+    /// bound), registers the invariant behind an activation literal on
+    /// the session's persistent solver, and returns the session — with
+    /// everything it learnt — for the next invariant with the same key.
+    /// Disable to build a fresh solver stack per invariant — the baseline
+    /// the `invariant_sweep` bench compares against. Only meaningful when
+    /// `incremental` is on.
+    pub reuse_sessions: bool,
 }
 
 impl Default for VerifyOptions {
@@ -70,6 +95,7 @@ impl Default for VerifyOptions {
             steps_override: None,
             policy_hint: None,
             incremental: true,
+            reuse_sessions: true,
         }
     }
 }
@@ -114,11 +140,36 @@ impl std::fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
+/// Key of a solver session: the encoded node set and the trace bound.
+/// Two invariants with the same key can share one skeleton, solver and
+/// learnt-clause database.
+type SessionKey = (Vec<NodeId>, usize);
+
+/// Idle sessions kept per key; checkout pops, checkin pushes (so under
+/// `verify_all` at most one session per worker thread exists per key, and
+/// stragglers beyond the cap are simply dropped).
+const MAX_POOLED_SESSIONS: usize = 8;
+
+/// A session is retired (dropped instead of pooled) once its solver has
+/// accumulated this many conflicts. Re-entering a lightly-used session
+/// saves the whole skeleton encoding and shares learnt skeleton lemmas;
+/// a session that has already absorbed a heavyweight search carries a
+/// large learnt database and a hot-but-foreign activity profile that
+/// measurably *slow down* the next invariant, so past this point a fresh
+/// stack is the better warm-up.
+const SESSION_RETIRE_CONFLICTS: u64 = 10_000;
+
 /// The VMN verifier for one network.
 pub struct Verifier<'n> {
     net: &'n Network,
     options: VerifyOptions,
     policy: PolicyClasses,
+    /// Live solver sessions (scenario-/invariant-free skeletons plus
+    /// everything registered on them so far), keyed by (node-set, trace
+    /// bound). `verify` checks a session out, solves on it, and returns
+    /// it; `verify_all` workers thereby share warmed-up solver state
+    /// across invariants instead of rebuilding a stack per representative.
+    sessions: Mutex<HashMap<SessionKey, Vec<Encoded>>>,
 }
 
 impl<'n> Verifier<'n> {
@@ -128,11 +179,42 @@ impl<'n> Verifier<'n> {
             Some(groups) => PolicyClasses::from_groups(groups.clone()),
             None => PolicyClasses::compute(net),
         };
-        Ok(Verifier { net, options, policy })
+        Ok(Verifier { net, options, policy, sessions: Mutex::new(HashMap::new()) })
     }
 
     pub fn policy(&self) -> &PolicyClasses {
         &self.policy
+    }
+
+    /// Number of idle sessions currently pooled (diagnostics/tests).
+    pub fn pooled_sessions(&self) -> usize {
+        self.sessions.lock().unwrap().values().map(Vec::len).sum()
+    }
+
+    /// Checks a session for `(nodes, k)` out of the pool, building the
+    /// skeleton only on a miss (or always, when session reuse is off).
+    fn checkout_session(&self, nodes: &[NodeId], k: usize) -> Result<Encoded, VerifyError> {
+        if self.options.reuse_sessions {
+            let mut pool = self.sessions.lock().unwrap();
+            if let Some(enc) = pool.get_mut(&(nodes.to_vec(), k)).and_then(Vec::pop) {
+                return Ok(enc);
+            }
+        }
+        Ok(encoder::encode_skeleton(self.net, nodes, k)?)
+    }
+
+    /// Returns a session to the pool for the next invariant with the same
+    /// key. Worn-out sessions (see [`SESSION_RETIRE_CONFLICTS`]) and
+    /// sessions beyond the per-key cap are dropped.
+    fn checkin_session(&self, key: SessionKey, enc: Encoded) {
+        if !self.options.reuse_sessions || enc.ctx.stats().conflicts > SESSION_RETIRE_CONFLICTS {
+            return;
+        }
+        let mut pool = self.sessions.lock().unwrap();
+        let slot = pool.entry(key).or_default();
+        if slot.len() < MAX_POOLED_SESSIONS {
+            slot.push(enc);
+        }
     }
 
     /// The per-scenario verification plan: slice (or whole terminal set)
@@ -169,10 +251,17 @@ impl<'n> Verifier<'n> {
     /// violation search, so verdicts match the per-scenario baseline;
     /// the differential tests replay every extracted witness on the
     /// concrete simulator as an additional safeguard.)
+    ///
+    /// With `options.reuse_sessions` (the default) the solver session
+    /// additionally persists *across invariants*: the skeleton is checked
+    /// out of a pool keyed by (node-set, trace bound), this invariant's
+    /// violation formula is registered behind an activation literal, and
+    /// the session — with every clause learnt so far — is returned for
+    /// the next invariant with the same key.
     pub fn verify(&self, inv: &Invariant) -> Result<Report, VerifyError> {
         let start = Instant::now();
         let scenarios = self.net.all_scenarios();
-        let report = |verdict, scenarios_checked, encoded_nodes, steps| Report {
+        let report = |verdict, scenarios_checked, encoded_nodes, steps, solver| Report {
             invariant: inv.clone(),
             verdict,
             elapsed: start.elapsed(),
@@ -180,6 +269,7 @@ impl<'n> Verifier<'n> {
             encoded_nodes,
             steps,
             inherited: false,
+            solver,
         };
 
         if !self.options.incremental {
@@ -188,27 +278,42 @@ impl<'n> Verifier<'n> {
             let mut scenarios_checked = 0;
             let mut encoded_nodes = 0;
             let mut steps_used = 0;
+            let mut solver = SolverStats::default();
             for scenario in scenarios {
                 scenarios_checked += 1;
                 let (nodes, k) = self.plan(inv, &scenario)?;
                 encoded_nodes = encoded_nodes.max(nodes.len());
-                steps_used = k;
+                steps_used = steps_used.max(k);
                 let mut enc = encoder::encode(self.net, &scenario, &nodes, inv, k)?;
-                if enc.ctx.check() == SatResult::Sat {
+                let sat = enc.ctx.check();
+                solver = solver + enc.ctx.stats();
+                if sat == SatResult::Sat {
                     let trace = Trace::extract(&mut enc);
                     let verdict = Verdict::Violated { trace, scenario };
-                    return Ok(report(verdict, scenarios_checked, encoded_nodes, steps_used));
+                    return Ok(report(
+                        verdict,
+                        scenarios_checked,
+                        encoded_nodes,
+                        steps_used,
+                        solver,
+                    ));
                 }
             }
-            return Ok(report(Verdict::Holds, scenarios_checked, encoded_nodes, steps_used));
+            return Ok(report(
+                Verdict::Holds,
+                scenarios_checked,
+                encoded_nodes,
+                steps_used,
+                solver,
+            ));
         }
 
         // Plan the scenarios up front, then solve the whole sweep on one
-        // persistent encoder over the union of the slices. A plan error
-        // stops planning but must not mask a violation in an *earlier*
-        // scenario (the baseline plans lazily and would have reported it
-        // first), so the planned prefix is still checked before the error
-        // is surfaced.
+        // persistent solver session over the union of the slices. A plan
+        // error stops planning but must not mask a violation in an
+        // *earlier* scenario (the baseline plans lazily and would have
+        // reported it first), so the planned prefix is still checked
+        // before the error is surfaced.
         let mut union_nodes: Vec<NodeId> = Vec::new();
         let mut k = 1;
         let mut planned = 0;
@@ -229,18 +334,58 @@ impl<'n> Verifier<'n> {
         if planned > 0 {
             union_nodes.sort();
             union_nodes.dedup();
-            let mut enc = encoder::encode_incremental(self.net, &union_nodes, inv, k)?;
+            // The session may have been warmed up by other invariants with
+            // the same (node-set, bound) key; the stats delta below still
+            // attributes only this invariant's checks to its report.
+            let mut enc = self.checkout_session(&union_nodes, k)?;
+            let stats_before = enc.ctx.stats();
             let mut scenarios_checked = 0;
+            let mut outcome: Result<Option<(Trace, FailureScenario)>, VerifyError> = Ok(None);
             for scenario in scenarios.into_iter().take(planned) {
                 scenarios_checked += 1;
-                if enc.check_scenario(self.net, &scenario)? == SatResult::Sat {
-                    let trace = Trace::extract(&mut enc);
-                    let verdict = Verdict::Violated { trace, scenario };
-                    return Ok(report(verdict, scenarios_checked, union_nodes.len(), k));
+                match enc.check_invariant_scenario(self.net, inv, &scenario) {
+                    Ok(SatResult::Sat) => {
+                        outcome = Ok(Some((Trace::extract(&mut enc), scenario)));
+                        break;
+                    }
+                    Ok(SatResult::Unsat) => {}
+                    Err(e) => {
+                        outcome = Err(e.into());
+                        break;
+                    }
                 }
             }
-            if plan_error.is_none() {
-                return Ok(report(Verdict::Holds, scenarios_checked, union_nodes.len(), k));
+            let solver = enc.ctx.stats().delta_since(&stats_before);
+            match outcome {
+                // A session whose check errored may hold a half-registered
+                // scenario encoding; drop it instead of pooling, so later
+                // invariants with the same key start from a clean skeleton.
+                Err(e) => return Err(e),
+                Ok(found) => {
+                    self.checkin_session((union_nodes.clone(), k), enc);
+                    match found {
+                        Some((trace, scenario)) => {
+                            let verdict = Verdict::Violated { trace, scenario };
+                            return Ok(report(
+                                verdict,
+                                scenarios_checked,
+                                union_nodes.len(),
+                                k,
+                                solver,
+                            ));
+                        }
+                        None if plan_error.is_none() => {
+                            return Ok(report(
+                                Verdict::Holds,
+                                scenarios_checked,
+                                union_nodes.len(),
+                                k,
+                                solver,
+                            ));
+                        }
+                        None => {}
+                    }
+                }
             }
         }
         Err(plan_error.expect("no-error case returned above; scenarios is never empty"))
@@ -296,6 +441,14 @@ impl<'n> Verifier<'n> {
                 let mut r = rep_report.clone();
                 r.invariant = invariants[inv_idx].clone();
                 r.inherited = pos > 0;
+                if r.inherited {
+                    // Inherited verdicts cost no solver run of their own:
+                    // zero the cost fields so summing over a run's reports
+                    // counts each wall-clock second (and each conflict)
+                    // exactly once.
+                    r.elapsed = Duration::ZERO;
+                    r.solver = SolverStats::default();
+                }
                 out[inv_idx] = Some(r);
             }
         }
@@ -399,5 +552,97 @@ mod engine_tests {
         let v = Verifier::new(&net, opts).unwrap();
         let r = v.verify(&Invariant::NodeIsolation { src, dst }).unwrap();
         assert_eq!(r.steps, 3);
+    }
+
+    #[test]
+    fn sessions_are_pooled_and_reused_across_invariants() {
+        let (net, src, dst) = pipelined(true);
+        // Pin the bound so both invariant kinds share a session key.
+        let opts = VerifyOptions { steps_override: Some(4), ..Default::default() };
+        let v = Verifier::new(&net, opts).unwrap();
+        assert_eq!(v.pooled_sessions(), 0);
+        let r1 = v.verify(&Invariant::NodeIsolation { src, dst }).unwrap();
+        assert_eq!(v.pooled_sessions(), 1, "the session returns to the pool");
+        let r2 = v.verify(&Invariant::DataIsolation { origin: src, dst }).unwrap();
+        assert_eq!(v.pooled_sessions(), 1, "the second invariant re-entered the same session");
+        assert_eq!(r1.verdict.holds(), r2.verdict.holds());
+        // Per-invariant attribution: each report carries only its own
+        // solver work, not the session's cumulative counters.
+        assert!(r1.solver.decisions + r1.solver.propagations > 0);
+        assert!(r2.solver.decisions + r2.solver.propagations > 0);
+
+        // With reuse disabled, nothing is pooled.
+        let opts =
+            VerifyOptions { steps_override: Some(4), reuse_sessions: false, ..Default::default() };
+        let v2 = Verifier::new(&net, opts).unwrap();
+        v2.verify(&Invariant::NodeIsolation { src, dst }).unwrap();
+        assert_eq!(v2.pooled_sessions(), 0);
+    }
+
+    #[test]
+    fn session_reuse_matches_fresh_stacks() {
+        let (net, src, dst) = pipelined(false);
+        let invs = [
+            Invariant::NodeIsolation { src, dst },
+            Invariant::NodeIsolation { src: dst, dst: src },
+            Invariant::DataIsolation { origin: src, dst },
+        ];
+        let pooled =
+            Verifier::new(&net, VerifyOptions { steps_override: Some(4), ..Default::default() })
+                .unwrap();
+        let fresh = Verifier::new(
+            &net,
+            VerifyOptions { steps_override: Some(4), reuse_sessions: false, ..Default::default() },
+        )
+        .unwrap();
+        for inv in &invs {
+            let got = pooled.verify(inv).unwrap();
+            let want = fresh.verify(inv).unwrap();
+            assert_eq!(got.verdict.holds(), want.verdict.holds(), "{inv}");
+            assert_eq!(got.scenarios_checked, want.scenarios_checked, "{inv}");
+        }
+    }
+
+    #[test]
+    fn inherited_reports_carry_no_elapsed_or_solver_cost() {
+        let (net, src, dst) = pipelined(true);
+        let v = Verifier::new(&net, VerifyOptions::default()).unwrap();
+        // Two flow-isolation invariants that are symmetric by construction
+        // would need a symmetric pair; instead verify the same invariant
+        // twice — symmetry groups duplicates, so the second is inherited.
+        let inv = Invariant::NodeIsolation { src, dst };
+        let reports = v.verify_all(&[inv.clone(), inv], 1).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert!(!reports[0].inherited);
+        assert!(reports[1].inherited);
+        assert!(reports[0].elapsed > Duration::ZERO);
+        assert_eq!(reports[1].elapsed, Duration::ZERO, "inherited elapsed must not double-count");
+        assert_eq!(reports[1].solver.decisions, 0);
+        assert_eq!(reports[1].solver.propagations, 0);
+    }
+
+    #[test]
+    fn baseline_steps_is_max_over_scenarios() {
+        // Deny-all firewall without a backup: the invariant holds on the
+        // no-failure scenario (longer path through fw1, larger bound) and
+        // is violated under fw1's failure (direct delivery, smaller
+        // bound). The baseline must report the *max* bound over the
+        // checked scenarios — not the last one — so its report stays
+        // comparable with the incremental engine's.
+        let (mut net, src, dst) = pipelined(false);
+        for name in ["fw1", "fw2"] {
+            let fw = net.topo.by_name(name).unwrap();
+            net.set_model(fw, models::learning_firewall("stateful-firewall", vec![]));
+        }
+        let inv = Invariant::NodeIsolation { src, dst };
+        let inc = Verifier::new(&net, VerifyOptions::default()).unwrap();
+        let base = Verifier::new(&net, VerifyOptions { incremental: false, ..Default::default() })
+            .unwrap();
+        let ri = inc.verify(&inv).unwrap();
+        let rb = base.verify(&inv).unwrap();
+        assert!(!rb.verdict.holds(), "failure must bypass the dead firewall");
+        assert_eq!(rb.scenarios_checked, 2, "violation found in the failure scenario");
+        assert_eq!(rb.steps, ri.steps, "baseline bound must be the max over scenarios");
+        assert_eq!(rb.encoded_nodes, ri.encoded_nodes);
     }
 }
