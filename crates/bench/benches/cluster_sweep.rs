@@ -1,0 +1,42 @@
+//! Criterion bench for slice-similarity scenario clustering: one
+//! invariant swept over wildly-divergent per-scenario slices
+//! (`divergent_slice_workload`), with the clustered engine (the default
+//! threshold) against the single-union sweep (`cluster_threshold: 0.0`)
+//! and the per-scenario extreme (`1.0`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vmn::{Verifier, VerifyOptions};
+use vmn_bench::divergent_slice_workload;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_sweep");
+    group.sample_size(10);
+    for &groups in &[2usize, 4] {
+        let (net, hint, inv) = divergent_slice_workload(groups);
+        let series = [
+            ("clustered", VerifyOptions::default().cluster_threshold),
+            ("one_union", 0.0),
+            ("per_scenario", 1.0),
+        ];
+        for (label, threshold) in series {
+            let opts = VerifyOptions {
+                policy_hint: Some(hint.clone()),
+                cluster_threshold: threshold,
+                ..Default::default()
+            };
+            group.bench_with_input(BenchmarkId::new(label, groups), &groups, |b, _| {
+                b.iter(|| {
+                    // A fresh verifier per iteration: sessions re-warm
+                    // inside the measurement, like a cold sweep.
+                    let verifier = Verifier::new(&net, opts.clone()).expect("valid network");
+                    let report = verifier.verify(&inv).expect("verifies");
+                    assert!(report.verdict.holds());
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

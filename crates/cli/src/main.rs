@@ -3,6 +3,7 @@
 //!
 //! ```console
 //! $ vmn check network.vmn [--whole-network] [--threads N] [--trace]
+//!                         [--cluster-threshold F]
 //! ```
 //!
 //! Exit code 0 when every invariant that should hold holds; 1 when any
@@ -16,11 +17,14 @@ mod config;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: vmn check <file.vmn> [--whole-network] [--threads N] [--trace]\n\
+         \x20                        [--cluster-threshold F]\n\
          \n\
          Verifies every `verify` line of the file and prints a verdict per\n\
          invariant. --whole-network disables slicing (for comparison),\n\
          --threads enables parallel verification, --trace prints violation\n\
-         witnesses."
+         witnesses. --cluster-threshold sets the Jaccard slice-similarity\n\
+         threshold for grouping failure scenarios into shared solver\n\
+         sessions (0 = one union, 1 = per-scenario, default 0.4)."
     );
     ExitCode::from(2)
 }
@@ -31,6 +35,7 @@ fn main() -> ExitCode {
     let mut whole = false;
     let mut threads = 1usize;
     let mut trace = false;
+    let mut cluster_threshold: Option<f64> = None;
     let mut it = args.iter();
     match it.next().map(String::as_str) {
         Some("check") => {}
@@ -50,6 +55,18 @@ fn main() -> ExitCode {
                 threads = match s["--threads=".len()..].parse() {
                     Ok(n) => n,
                     Err(_) => return usage(),
+                }
+            }
+            "--cluster-threshold" => {
+                cluster_threshold = match it.next().map(|n| n.parse()) {
+                    Some(Ok(f)) if (0.0f64..=1.0).contains(&f) => Some(f),
+                    _ => return usage(),
+                }
+            }
+            s if s.starts_with("--cluster-threshold=") => {
+                cluster_threshold = match s["--cluster-threshold=".len()..].parse() {
+                    Ok(f) if (0.0f64..=1.0).contains(&f) => Some(f),
+                    _ => return usage(),
                 }
             }
             s if !s.starts_with('-') && file.is_none() => file = Some(s.to_string()),
@@ -74,7 +91,10 @@ fn main() -> ExitCode {
         }
     };
 
-    let options = if whole { VerifyOptions::whole_network() } else { VerifyOptions::default() };
+    let mut options = if whole { VerifyOptions::whole_network() } else { VerifyOptions::default() };
+    if let Some(t) = cluster_threshold {
+        options.cluster_threshold = t;
+    }
     let verifier = match Verifier::new(&cfg.net, options) {
         Ok(v) => v,
         Err(e) => {

@@ -60,6 +60,13 @@ impl<'a> Blaster<'a> {
         self.true_lit
     }
 
+    /// Sets the solver's open cone mask for subsequently emitted clauses
+    /// (see [`Solver::set_open_cone`]); pass 0 to close it. Used by the
+    /// context to tag each assertion's CNF with its sub-query cone.
+    pub fn set_open_cone(&mut self, mask: u64) {
+        self.solver.set_open_cone(mask);
+    }
+
     fn fresh(&mut self) -> Lit {
         Lit::pos(self.solver.new_var())
     }

@@ -169,6 +169,13 @@ struct ClauseMeta {
     deleted: bool,
     /// Activity for learnt-clause garbage collection.
     activity: f64,
+    /// Cone membership bitmask (see [`Solver::set_open_cone`]): for an
+    /// original clause, the cones open when it was added; for a learnt
+    /// clause, the union over every clause resolved in its derivation —
+    /// so a learnt clause is tagged with every sub-query whose encoding
+    /// it (transitively) depends on. Tags ≥ 63 share the top bit, which
+    /// only ever causes sound over-forgetting of redundant clauses.
+    cone: u64,
 }
 
 #[derive(Clone, Copy)]
@@ -375,6 +382,12 @@ pub struct Solver {
     stats: SolverStats,
     learnt_refs: Vec<ClauseRef>,
     max_learnts: f64,
+    /// Cone bitmask applied to clauses added while it is non-zero (see
+    /// [`Solver::set_open_cone`]).
+    open_cone: u64,
+    /// Cone mask of the conflict clause currently under analysis; the
+    /// learnt clause unions this with every resolved reason's mask.
+    analyze_cone: u64,
     /// Literal slots occupied by deleted clauses; once a large enough
     /// fraction of the arena is dead, `reduce_db` compacts it.
     dead_lits: usize,
@@ -412,9 +425,33 @@ impl Solver {
             stats: SolverStats::default(),
             learnt_refs: Vec::new(),
             max_learnts: 4000.0,
+            open_cone: 0,
+            analyze_cone: 0,
             dead_lits: 0,
             model: Vec::new(),
         }
+    }
+
+    /// Bit for cone tag `tag` (tags ≥ 63 saturate into the shared top
+    /// bit; forgetting that bit over-forgets, which is sound — learnt
+    /// clauses are redundant).
+    #[inline]
+    pub fn cone_bit(tag: u32) -> u64 {
+        1u64 << tag.min(63)
+    }
+
+    /// Declares the *cone* membership of subsequently added clauses: while
+    /// the mask is non-zero, every clause added (original or learnt) is
+    /// tagged with it, marking the clause as part of the encoding of one
+    /// sub-query (an invariant, in the VMN verifier). Conflict analysis
+    /// propagates tags: a learnt clause carries the union of the masks of
+    /// every clause resolved in its derivation, so
+    /// [`Solver::forget_learnts_in_cones`] can later discard exactly the
+    /// lemmas that depend on a deselected sub-query's encoding. Pass 0 to
+    /// close the cone (clauses added outside any cone are never forgotten
+    /// by cone, only by the literal scan).
+    pub fn set_open_cone(&mut self, mask: u64) {
+        self.open_cone = mask;
     }
 
     /// Overrides the learnt-clause budget that triggers learnt-database
@@ -537,6 +574,9 @@ impl Solver {
             learnt,
             deleted: false,
             activity: 0.0,
+            // Learnt clauses inherit the union of their derivation's cones
+            // (accumulated by `analyze`); originals take the open cone.
+            cone: if learnt { self.analyze_cone } else { self.open_cone },
         });
         self.watches[(!lits[0]).index()].push(Watch { cref, blocker: lits[1] });
         self.watches[(!lits[1]).index()].push(Watch { cref, blocker: lits[0] });
@@ -704,6 +744,7 @@ impl Solver {
             }
             let cref = self.reason[v.index()].expect("non-decision must have a reason");
             self.bump_clause(cref);
+            self.analyze_cone |= self.clauses[cref.0 as usize].cone;
             // Skip the asserting literal itself (position 0 by invariant).
             reason_lits.clear();
             let m = &self.clauses[cref.0 as usize];
@@ -713,8 +754,19 @@ impl Solver {
         learnt[0] = !p.expect("found UIP");
 
         // Conflict-clause minimisation: drop literals implied by the rest.
-        let keep: Vec<bool> =
-            learnt.iter().enumerate().map(|(i, &l)| i == 0 || !self.redundant(l)).collect();
+        // Dropping a literal resolves with its reason clause, so that
+        // clause's cone joins the derivation too (same as the main loop —
+        // otherwise the learnt clause under-reports its cones and
+        // forget-by-cone keeps it as dead weight).
+        let mut keep: Vec<bool> = Vec::with_capacity(learnt.len());
+        for (i, &l) in learnt.iter().enumerate() {
+            let redundant = i != 0 && self.redundant(l);
+            if redundant {
+                let cref = self.reason[l.var().index()].expect("redundant literals have a reason");
+                self.analyze_cone |= self.clauses[cref.0 as usize].cone;
+            }
+            keep.push(!redundant);
+        }
         let mut out: Vec<Lit> = learnt
             .iter()
             .zip(&keep)
@@ -837,6 +889,20 @@ impl Solver {
     /// only the opposite polarity keep pruning and are kept. Must be
     /// called at decision level zero.
     pub fn forget_learnts_with(&mut self, lits: &[Lit]) {
+        self.forget_learnts_in_cones(0, lits);
+    }
+
+    /// Like [`Solver::forget_learnts_with`], but additionally deletes
+    /// every learnt clause whose cone mask intersects `cones` — i.e.
+    /// every lemma whose derivation (transitively) used a clause added
+    /// inside one of the given cones (see [`Solver::set_open_cone`]).
+    /// This catches the lemmas the literal scan misses: clauses learnt
+    /// from a deselected sub-query's *Tseitin interior*, which never
+    /// mention its activation literal yet are dead weight once the
+    /// sub-query is deselected for good. Locked clauses (reasons of
+    /// assigned literals) always survive. Must be called at decision
+    /// level zero.
+    pub fn forget_learnts_in_cones(&mut self, cones: u64, lits: &[Lit]) {
         debug_assert_eq!(self.decision_level(), 0);
         let mut mark = vec![false; 2 * self.num_vars()];
         for l in lits {
@@ -846,7 +912,7 @@ impl Solver {
         refs.retain(|r| {
             let meta = &self.clauses[r.0 as usize];
             let (s, l) = (meta.start as usize, meta.len as usize);
-            if !self.arena[s..s + l].iter().any(|&q| mark[q.index()]) {
+            if meta.cone & cones == 0 && !self.arena[s..s + l].iter().any(|&q| mark[q.index()]) {
                 return true;
             }
             // Locked clauses (reasons of assigned literals) must survive.
@@ -862,6 +928,35 @@ impl Solver {
         self.learnt_refs = refs;
         if self.dead_lits * 3 >= self.arena.len() && self.arena.len() >= 1024 {
             self.compact_arena();
+        }
+    }
+
+    /// Resets the search heuristics — EVSIDS activities, the branching
+    /// heap and saved phases — to their initial state, keeping the clause
+    /// database (originals *and* learnt) intact. A long-lived incremental
+    /// session that has absorbed a heavyweight search carries an activity
+    /// profile tuned to a *different* query; re-entering it for a new
+    /// sub-query with that foreign profile measurably degrades the search
+    /// (more conflicts than a cold start), while the learnt skeleton
+    /// lemmas are still worth keeping. This resets the former without
+    /// giving up the latter. Must be called at decision level zero.
+    pub fn reset_search_state(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        for a in &mut self.activity {
+            *a = 0.0;
+        }
+        self.var_inc = 1.0;
+        for p in &mut self.polarity {
+            *p = false;
+        }
+        // Re-insert every unassigned variable into the branching heap
+        // (no-op for those already queued): with all activities zero the
+        // next search starts from a cold, uniform order.
+        for i in 0..self.num_vars() {
+            let v = Var(i as u32);
+            if self.assigns[v.index()] == LBool::Undef {
+                self.order.insert(v, &self.activity);
+            }
         }
     }
 
@@ -900,6 +995,7 @@ impl Solver {
                 learnt: m.learnt,
                 deleted: false,
                 activity: m.activity,
+                cone: m.cone,
             });
         }
         self.stats.reclaimed_lits += (self.arena.len() - arena.len()) as u64;
@@ -983,10 +1079,16 @@ impl Solver {
                 if let Some(cref) = self.propagate_no_theory() {
                     let lits = self.clause_lits(cref).to_vec();
                     self.bump_clause(cref);
+                    // Seed the learnt clause's cone with the conflicting
+                    // clause's; `analyze` unions in every resolved reason.
+                    self.analyze_cone = self.clauses[cref.0 as usize].cone;
                     break 'prop Some(lits);
                 }
                 match self.theory_sync(theory) {
                     Some(c) => {
+                        // Theory conflicts carry no clause provenance; the
+                        // resolved reasons still contribute their cones.
+                        self.analyze_cone = 0;
                         break 'prop Some(c.lits.iter().map(|&l| !l).collect());
                     }
                     None => {
@@ -1080,6 +1182,7 @@ impl Solver {
                                     }
                                     Err(c) => {
                                         self.stats.conflicts += 1;
+                                        self.analyze_cone = 0;
                                         let cl: Vec<Lit> = c.lits.iter().map(|&l| !l).collect();
                                         let conflict_level = cl
                                             .iter()
@@ -1632,6 +1735,180 @@ mod tests {
         }
         assert!(s.stats().arena_compactions >= 30, "every round must have compacted");
         assert!(s.stats().deleted_clauses > 0, "low budget must force deletions");
+    }
+
+    // ---- cone-tagged learnt clauses --------------------------------------
+
+    /// A guarded pigeonhole whose guard is *indirect*, mimicking a Tseitin
+    /// interior: `g → z` and the pigeonhole clauses are guarded by `¬z`,
+    /// so refutation lemmas usually range over pigeon variables only and
+    /// mention neither `g` nor `¬g`. Returns the guard variable. All
+    /// clauses are added inside the currently open cone.
+    fn tseitin_guarded_pigeonhole(s: &mut Solver, n: usize) -> Var {
+        let g = s.new_var();
+        let z = s.new_var();
+        s.add_clause(&[Lit::neg(g), Lit::pos(z)]);
+        let pigeons = n + 1;
+        let vars: Vec<Vec<Var>> =
+            (0..pigeons).map(|_| (0..n).map(|_| s.new_var()).collect()).collect();
+        for p in 0..pigeons {
+            let mut cl: Vec<Lit> = (0..n).map(|h| Lit::pos(vars[p][h])).collect();
+            cl.push(Lit::neg(z));
+            s.add_clause(&cl);
+        }
+        for h in 0..n {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    s.add_clause(&[Lit::neg(vars[p1][h]), Lit::neg(vars[p2][h]), Lit::neg(z)]);
+                }
+            }
+        }
+        g
+    }
+
+    /// Builds the two-cone workload deterministically: cone 1 holds an
+    /// indirectly-guarded pigeonhole (guard g1), cone 2 a directly-guarded
+    /// one (guard g2); both are refuted once so the solver holds learnt
+    /// clauses from both cones.
+    fn two_cone_solver() -> (Solver, Var, Var) {
+        let mut s = Solver::new();
+        s.set_open_cone(Solver::cone_bit(1));
+        let g1 = tseitin_guarded_pigeonhole(&mut s, 5);
+        s.set_open_cone(Solver::cone_bit(2));
+        let g2 = guarded_pigeonhole(&mut s, 4);
+        s.set_open_cone(0);
+        assert_eq!(s.solve_pure_assuming(&[Lit::pos(g1), Lit::neg(g2)]), SatResult::Unsat);
+        assert_eq!(s.solve_pure_assuming(&[Lit::pos(g2), Lit::neg(g1)]), SatResult::Unsat);
+        (s, g1, g2)
+    }
+
+    #[test]
+    fn learnt_clauses_inherit_cones_of_their_derivation() {
+        let (s, _, _) = two_cone_solver();
+        let cone1 = s
+            .learnt_refs
+            .iter()
+            .filter(|r| s.clauses[r.0 as usize].cone & Solver::cone_bit(1) != 0)
+            .count();
+        let cone2 = s
+            .learnt_refs
+            .iter()
+            .filter(|r| s.clauses[r.0 as usize].cone & Solver::cone_bit(2) != 0)
+            .count();
+        assert!(cone1 > 0, "refuting the cone-1 pigeonhole must learn cone-1 lemmas");
+        assert!(cone2 > 0, "refuting the cone-2 pigeonhole must learn cone-2 lemmas");
+    }
+
+    #[test]
+    fn cone_forget_is_strictly_sharper_than_literal_scan() {
+        // The old scan deletes learnt clauses *containing* the deselected
+        // guard's satisfied literal. Lemmas learnt from the guarded
+        // instance's interior never mention the guard (the indirect `z`
+        // bridge stands in for Tseitin aux vars), so the scan misses
+        // them; the cone tag catches them. Two identical deterministic
+        // solvers, one forget each — the cone forget must delete strictly
+        // more.
+        let (mut by_lit, g1, _) = two_cone_solver();
+        let (mut by_cone, g1b, _) = two_cone_solver();
+        assert_eq!(g1, g1b, "identical construction");
+
+        let lit_deleted_before = by_lit.stats().deleted_clauses;
+        by_lit.backtrack_to_base(&mut NoTheory);
+        by_lit.forget_learnts_with(&[Lit::neg(g1)]);
+        let lit_deleted = by_lit.stats().deleted_clauses - lit_deleted_before;
+
+        let cone_deleted_before = by_cone.stats().deleted_clauses;
+        by_cone.backtrack_to_base(&mut NoTheory);
+        by_cone.forget_learnts_in_cones(Solver::cone_bit(1), &[Lit::neg(g1)]);
+        let cone_deleted = by_cone.stats().deleted_clauses - cone_deleted_before;
+
+        assert!(
+            cone_deleted > lit_deleted,
+            "cone tagging must forget strictly more stale lemmas \
+             (cone {cone_deleted} vs literal {lit_deleted})"
+        );
+        // Verdicts survive the sharper forget.
+        assert_eq!(by_cone.solve_pure_assuming(&[Lit::pos(g1)]), SatResult::Unsat);
+        assert_eq!(by_cone.solve_pure_assuming(&[Lit::neg(g1)]), SatResult::Sat);
+    }
+
+    #[test]
+    fn cone_forget_on_switch_matches_bruteforce() {
+        // Differential for the invariant-switch idiom: guarded random
+        // 3-CNF instances accumulate on one solver, each round's clauses
+        // added under its own cone; when round i+1 "registers", round i's
+        // cone is forgotten (the verifier's forget-on-switch). No verdict
+        // — current or revisited — may ever diverge from brute force.
+        let mut state = 0x51A5_EED5_EED5_EED5u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut s = Solver::new();
+        let mut rounds: Vec<(Var, bool, Vec<Vec<i32>>, Vec<Var>)> = Vec::new();
+        for round in 0..24u32 {
+            let nv = 5 + (next() % 5) as usize; // 5..=9 vars
+            let nc = 15 + (next() % 20) as usize;
+            s.backtrack_to_base(&mut NoTheory);
+            if let Some((prev_g, ..)) = rounds.last() {
+                // The previous round is deselected for good: forget its
+                // cone and its satisfied guard literal.
+                s.forget_learnts_in_cones(Solver::cone_bit(round - 1), &[Lit::neg(*prev_g)]);
+            }
+            s.set_open_cone(Solver::cone_bit(round));
+            let g = s.new_var();
+            let vs = n_vars(&mut s, nv);
+            let clauses: Vec<Vec<i32>> = (0..nc)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| {
+                            let var = (next() % nv as u32) as i32 + 1;
+                            if next() % 2 == 0 {
+                                var
+                            } else {
+                                -var
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            for cl in &clauses {
+                let mut lits = lits(&vs, cl);
+                lits.push(Lit::neg(g));
+                s.add_clause(&lits);
+            }
+            s.set_open_cone(0);
+            let brute = (0..(1u32 << nv)).any(|m| {
+                clauses.iter().all(|cl| {
+                    cl.iter().any(|&l| {
+                        let bit = (m >> (l.unsigned_abs() - 1)) & 1 == 1;
+                        if l > 0 {
+                            bit
+                        } else {
+                            !bit
+                        }
+                    })
+                })
+            });
+            let mut assumptions = vec![Lit::pos(g)];
+            assumptions.extend(rounds.iter().map(|(h, ..)| Lit::neg(*h)));
+            let got = s.solve_pure_assuming(&assumptions) == SatResult::Sat;
+            assert_eq!(got, brute, "round {round} diverged from brute force after cone forget");
+            rounds.push((g, brute, clauses, vs));
+        }
+        assert!(s.stats().deleted_clauses > 0, "the forgets must have deleted something");
+        // Revisit every earlier round (its cone was forgotten): the
+        // verdict is decided by the original clauses alone and must still
+        // match brute force.
+        let guards: Vec<Var> = rounds.iter().map(|(g, ..)| *g).collect();
+        for (i, (g, brute, ..)) in rounds.iter().enumerate() {
+            let mut assumptions = vec![Lit::pos(*g)];
+            assumptions.extend(
+                guards.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, h)| Lit::neg(*h)),
+            );
+            let got = s.solve_pure_assuming(&assumptions) == SatResult::Sat;
+            assert_eq!(got, *brute, "revisited round {i} diverged after its cone was forgotten");
+        }
     }
 
     #[test]

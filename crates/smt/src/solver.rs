@@ -35,6 +35,14 @@ pub struct Context {
     pool: TermPool,
     sorts: SortStore,
     assertions: Vec<TermId>,
+    /// Cone bitmask per assertion (parallel to `assertions`): the cones
+    /// open (via [`Context::begin_cone`]) when the assertion was added.
+    /// Lowering pushes the mask into the SAT core so clauses — and, via
+    /// conflict analysis, every lemma derived from them — carry their
+    /// sub-query's tag.
+    assertion_cones: Vec<u64>,
+    /// Mask applied to assertions added now (0 outside any cone).
+    open_cone: u64,
     model: Option<Model>,
     stats: SolverStats,
     /// Work done by the most recent check alone (stats delta around the
@@ -54,6 +62,10 @@ pub struct Context {
     /// Memoised atom-ITE lowering of assumption terms (their definitional
     /// side constraints are asserted exactly once).
     assumption_cache: HashMap<TermId, TermId>,
+    /// Cumulative conflict count at the last
+    /// [`Context::reset_search_state`] (0 if never reset) — the watermark
+    /// behind [`Context::conflicts_since_search_reset`].
+    search_reset_conflicts: u64,
 }
 
 impl Default for Context {
@@ -68,6 +80,8 @@ impl Context {
             pool: TermPool::new(),
             sorts: SortStore::new(),
             assertions: Vec::new(),
+            assertion_cones: Vec::new(),
+            open_cone: 0,
             model: None,
             stats: SolverStats::default(),
             last_check: SolverStats::default(),
@@ -76,6 +90,7 @@ impl Context {
             caches: None,
             lowered_upto: 0,
             assumption_cache: HashMap::new(),
+            search_reset_conflicts: 0,
         }
     }
 
@@ -203,6 +218,24 @@ impl Context {
     pub fn assert(&mut self, t: TermId) {
         assert!(self.pool.sort(t).is_bool(), "assertions must be boolean");
         self.assertions.push(t);
+        self.assertion_cones.push(self.open_cone);
+    }
+
+    /// Opens cone `tag`: subsequent assertions (until [`Context::end_cone`])
+    /// are tagged as belonging to sub-query `tag`, and so — transitively,
+    /// through conflict analysis in the SAT core — is every lemma ever
+    /// derived from their clauses. [`Context::forget_learnts_for`] later
+    /// discards exactly those lemmas when the sub-query is deselected for
+    /// good. Tags ≥ 63 share one saturated bit (sound over-forgetting).
+    /// Nested calls replace the mask rather than stacking.
+    pub fn begin_cone(&mut self, tag: u32) {
+        self.open_cone = Solver::cone_bit(tag);
+    }
+
+    /// Closes the open cone; subsequent assertions are untagged (their
+    /// lemmas are only ever forgotten by the literal scan, never by cone).
+    pub fn end_cone(&mut self) {
+        self.open_cone = 0;
     }
 
     pub fn num_assertions(&self) -> usize {
@@ -238,13 +271,18 @@ impl Context {
 
         // Lower atom-sorted ITEs (needs &mut pool, so done before
         // blasting) — for the new assertions and the assumption terms.
-        let pending: Vec<TermId> = self.assertions[self.lowered_upto..].to_vec();
+        let pending: Vec<(TermId, u64)> = self.assertions[self.lowered_upto..]
+            .iter()
+            .copied()
+            .zip(self.assertion_cones[self.lowered_upto..].iter().copied())
+            .collect();
         self.lowered_upto = self.assertions.len();
         let mut lowered = Vec::with_capacity(pending.len());
-        for t in pending {
+        for (t, cone) in pending {
             let (t2, side) = lower_atom_ites(&mut self.pool, t);
-            lowered.push(t2);
-            lowered.extend(side);
+            lowered.push((t2, cone));
+            // Definitional side constraints share their assertion's cone.
+            lowered.extend(side.into_iter().map(|s| (s, cone)));
         }
         let mut assumption_terms = Vec::with_capacity(assumptions.len());
         for &t in assumptions {
@@ -257,7 +295,9 @@ impl Context {
                     // bindings), so asserting them permanently is sound;
                     // the memo keeps repeated checks on the same
                     // assumption from minting fresh variables each time.
-                    lowered.extend(side);
+                    // They carry no cone: activation plumbing outlives any
+                    // one sub-query.
+                    lowered.extend(side.into_iter().map(|s| (s, 0)));
                     self.assumption_cache.insert(t, t2);
                     t2
                 }
@@ -269,9 +309,11 @@ impl Context {
             Some(c) => Blaster::resume(&self.pool, &mut self.sat, &mut self.euf, c),
             None => Blaster::new(&self.pool, &mut self.sat, &mut self.euf),
         };
-        for &t in &lowered {
+        for &(t, cone) in &lowered {
+            blaster.set_open_cone(cone);
             blaster.assert_true(t);
         }
+        blaster.set_open_cone(0);
         let assumption_lits: Vec<Lit> =
             assumption_terms.iter().map(|&t| blaster.lit_of(t)).collect();
         let caches = blaster.into_caches();
@@ -338,13 +380,47 @@ impl Context {
     /// kept. Terms never lowered to a literal are ignored. A no-op
     /// before the first check.
     pub fn forget_learnts_mentioning(&mut self, terms: &[TermId]) {
+        self.forget_learnts_for(&[], terms);
+    }
+
+    /// The sharp variant of [`Context::forget_learnts_mentioning`]: also
+    /// forgets every learnt clause derived (transitively) from an
+    /// assertion tagged with one of the given cone `tags` — the lemmas
+    /// from a deselected sub-query's Tseitin *interior*, which never
+    /// mention its activation literal and so escape the literal scan.
+    /// Sound because learnt clauses are redundant by construction; a
+    /// no-op before the first check (nothing is lowered yet, hence
+    /// nothing learnt).
+    pub fn forget_learnts_for(&mut self, tags: &[u32], terms: &[TermId]) {
         let Some(caches) = &self.caches else { return };
         let dead: Vec<Lit> = terms.iter().filter_map(|&t| caches.lit_for(t)).map(|l| !l).collect();
-        if dead.is_empty() {
+        let mask = tags.iter().fold(0u64, |m, &t| m | Solver::cone_bit(t));
+        if dead.is_empty() && mask == 0 {
             return;
         }
         self.sat.backtrack_to_base(&mut self.euf);
-        self.sat.forget_learnts_with(&dead);
+        self.sat.forget_learnts_in_cones(mask, &dead);
+    }
+
+    /// Resets the CDCL core's search heuristics (variable activities,
+    /// branching order, saved phases) while keeping every clause — see
+    /// [`Solver::reset_search_state`]. The session-pool policy uses this
+    /// to scrub the foreign search profile off a heavily-worn session
+    /// before the next sub-query re-enters it.
+    pub fn reset_search_state(&mut self) {
+        self.sat.backtrack_to_base(&mut self.euf);
+        self.sat.reset_search_state();
+        self.search_reset_conflicts = self.sat.stats().conflicts;
+    }
+
+    /// Conflicts accumulated since the last
+    /// [`Context::reset_search_state`] (the context's lifetime total if
+    /// never reset). The session-pool policy keys its scrub decision on
+    /// this watermark, so only a session worn by heavyweight search
+    /// *since* its last scrub is scrubbed again — not every session that
+    /// ever crossed the threshold once.
+    pub fn conflicts_since_search_reset(&self) -> u64 {
+        self.sat.stats().conflicts.saturating_sub(self.search_reset_conflicts)
     }
 
     /// The model from the last `check`, if it returned [`SatResult::Sat`].
@@ -585,6 +661,45 @@ mod tests {
         assert_eq!(first.decisions + second.decisions, total.decisions);
         assert_eq!(first.conflicts + second.conflicts, total.conflicts);
         assert_eq!(total.delta_since(&cumulative).decisions, second.decisions);
+    }
+
+    #[test]
+    fn cone_forget_keeps_verdicts() {
+        // Two guarded sub-queries asserted under distinct cones; after
+        // deselecting the first (cone forget + literal scan), every
+        // verdict must be unchanged — the invariant-switch idiom the
+        // encoder relies on.
+        let mut ctx = Context::new();
+        let g1 = ctx.fresh_const("g1", Sort::Bool);
+        let g2 = ctx.fresh_const("g2", Sort::Bool);
+        let x = ctx.fresh_const("x", Sort::bitvec(16));
+        let a = ctx.bv_const(3, 16);
+        let b = ctx.bv_const(9, 16);
+        ctx.begin_cone(1);
+        let r1 = {
+            let e = ctx.eq(x, a);
+            ctx.implies(g1, e)
+        };
+        ctx.assert(r1);
+        ctx.end_cone();
+        ctx.begin_cone(2);
+        let r2 = {
+            let e = ctx.eq(x, b);
+            ctx.implies(g2, e)
+        };
+        ctx.assert(r2);
+        ctx.end_cone();
+        let ng1 = ctx.not(g1);
+        let ng2 = ctx.not(g2);
+        assert_eq!(ctx.check_assuming(&[g1, ng2]), SatResult::Sat);
+        assert_eq!(ctx.eval_bv(x), 3);
+        assert_eq!(ctx.check_assuming(&[g1, g2]), SatResult::Unsat);
+        // Deselect g1 for good.
+        ctx.forget_learnts_for(&[1], &[g1]);
+        assert_eq!(ctx.check_assuming(&[g2, ng1]), SatResult::Sat);
+        assert_eq!(ctx.eval_bv(x), 9);
+        assert_eq!(ctx.check_assuming(&[g1, g2]), SatResult::Unsat, "semantics survive forget");
+        assert_eq!(ctx.check(), SatResult::Sat);
     }
 
     #[test]

@@ -418,19 +418,36 @@ impl Encoded {
         }
         let n = self.invariants.len();
         if n > 0 {
-            // A new invariant enters a warmed-up session. Learnt clauses
-            // that mention an earlier invariant's activation literal are
-            // satisfied (hence useless) while that literal is assumed
-            // false, yet they still drag propagation through their watch
-            // lists — forget them. Untagged skeleton/scenario lemmas are
-            // the cross-invariant payoff and stay.
-            let tags: Vec<TermId> = self.invariants.iter().map(|(_, l)| *l).collect();
-            self.ctx.forget_learnts_mentioning(&tags);
+            // A new invariant enters a warmed-up session. Lemmas derived
+            // from an earlier invariant's encoding prune nothing while its
+            // activation literal is assumed false, yet still drag
+            // propagation through their watch lists — forget them, both by
+            // the satisfied literal (clauses mentioning ¬invariant!i) and
+            // by *cone*: every lemma whose derivation used a clause of the
+            // earlier invariant's violation formula, activation literal or
+            // not (the Tseitin interior never mentions the literal).
+            // Untagged skeleton/scenario lemmas are the cross-invariant
+            // payoff and stay.
+            let terms: Vec<TermId> = self.invariants.iter().map(|(_, l)| *l).collect();
+            let tags: Vec<u32> = (0..n as u32).collect();
+            self.ctx.forget_learnts_for(&tags, &terms);
         }
         let lit = self.ctx.fresh_const(format!("invariant!{n}"), Sort::Bool);
-        let violated = self.invariant_violation(net, inv)?;
+        // Everything this invariant contributes — its violation formula
+        // and the definitional side constraints `invariant_violation`
+        // asserts directly — is tagged with the invariant's cone, so the
+        // forget-on-switch above can discard its lemmas sharply.
+        self.ctx.begin_cone(n as u32);
+        let violated = match self.invariant_violation(net, inv) {
+            Ok(v) => v,
+            Err(e) => {
+                self.ctx.end_cone();
+                return Err(e);
+            }
+        };
         let rule = self.ctx.implies(lit, violated);
         self.ctx.assert(rule);
+        self.ctx.end_cone();
         self.invariants.push((inv.clone(), lit));
         Ok(lit)
     }

@@ -5,10 +5,10 @@ use crate::encoder::{self, EncodeError, Encoded};
 use crate::invariant::Invariant;
 use crate::network::Network;
 use crate::policy::{group_by_symmetry, PolicyClasses};
-use crate::slice::compute_slice;
+use crate::slice::{cluster_slices, compute_slice};
 use crate::trace::Trace;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 use vmn_net::{FailureScenario, NetError, NodeId};
 use vmn_smt::{SatResult, SolverStats};
@@ -39,16 +39,18 @@ pub struct Report {
     pub elapsed: Duration,
     /// Number of failure scenarios checked (stops early on violation).
     pub scenarios_checked: usize,
-    /// Terminals in the largest node set encoded for this invariant:
-    /// the union of the per-scenario slices in the incremental engine,
-    /// the max over scenarios in the from-scratch baseline (equal
-    /// whenever the scenarios' slices nest, and never smaller in the
-    /// incremental engine).
+    /// Terminals in the largest node set *actually encoded* for this
+    /// invariant: the largest encoded cluster's slice union in the
+    /// incremental engine (the union of all per-scenario slices when
+    /// clustering collapses to one cluster), the max over checked
+    /// scenarios in the from-scratch baseline (equal whenever the
+    /// scenarios' slices nest, and never smaller in the incremental
+    /// engine).
     pub encoded_nodes: usize,
-    /// Largest trace bound used across this invariant's encodings
-    /// (the max over planned scenarios, in both engines — the baseline
-    /// reports the max over the scenarios it actually checked, so the
-    /// values coincide whenever both engines sweep the same prefix).
+    /// Largest trace bound used across this invariant's encodings — the
+    /// max over the scenario clusters actually encoded (incremental) or
+    /// the scenarios actually checked (baseline), so the values coincide
+    /// whenever both engines sweep the same prefix.
     pub steps: usize,
     /// Whether the verdict was inherited from a symmetric representative
     /// instead of being verified directly.
@@ -85,7 +87,21 @@ pub struct VerifyOptions {
     /// the `invariant_sweep` bench compares against. Only meaningful when
     /// `incremental` is on.
     pub reuse_sessions: bool,
+    /// Slice-similarity threshold for the incremental sweep's scenario
+    /// clustering (Jaccard, in `[0, 1]`): scenarios whose slices overlap
+    /// at least this much share one encoder/solver session; divergent
+    /// ones get their own, smaller session. `0.0` degenerates to the
+    /// single union-of-all-slices sweep, `1.0` to one session per
+    /// distinct slice (identical slices still share). Only meaningful
+    /// when `incremental` is on. Values are clamped to `[0, 1]`.
+    pub cluster_threshold: f64,
 }
+
+/// Default Jaccard threshold for scenario clustering: slices within one
+/// "failure family" (shared endpoints plus mostly-shared middleboxes)
+/// typically overlap well above this, so nesting workloads keep the
+/// single-union sweep, while genuinely divergent slices split off.
+pub const DEFAULT_CLUSTER_THRESHOLD: f64 = 0.4;
 
 impl Default for VerifyOptions {
     fn default() -> Self {
@@ -96,6 +112,7 @@ impl Default for VerifyOptions {
             policy_hint: None,
             incremental: true,
             reuse_sessions: true,
+            cluster_threshold: DEFAULT_CLUSTER_THRESHOLD,
         }
     }
 }
@@ -150,14 +167,143 @@ type SessionKey = (Vec<NodeId>, usize);
 /// stragglers beyond the cap are simply dropped).
 const MAX_POOLED_SESSIONS: usize = 8;
 
-/// A session is retired (dropped instead of pooled) once its solver has
-/// accumulated this many conflicts. Re-entering a lightly-used session
-/// saves the whole skeleton encoding and shares learnt skeleton lemmas;
-/// a session that has already absorbed a heavyweight search carries a
-/// large learnt database and a hot-but-foreign activity profile that
-/// measurably *slow down* the next invariant, so past this point a fresh
-/// stack is the better warm-up.
-const SESSION_RETIRE_CONFLICTS: u64 = 10_000;
+/// EWMA weight of the newest cost sample in the pool's per-key model.
+const COST_EWMA_ALPHA: f64 = 0.5;
+
+/// Decay applied to a stale warm-cost estimate on every *fresh* sweep of
+/// a key whose prediction currently blocks warmed starts (see
+/// [`KeyCost::record`]): pulls the estimate toward observed fresh costs
+/// so the model can re-explore instead of ratcheting shut forever.
+const WARM_RECOVERY_ALPHA: f64 = 0.25;
+
+/// A re-entered session that has accumulated this many conflicts *since
+/// its last scrub* gets its search heuristics (activities, phases) reset
+/// at checkout: past this point the profile is tuned to a foreign
+/// heavyweight query and degrades the next search, while the learnt
+/// skeleton/scenario lemmas remain worth keeping (PR 3 retired such
+/// sessions outright and forfeited both).
+const SCRUB_SEARCH_CONFLICTS: u64 = 10_000;
+
+/// A warmed session is retired once its observed per-invariant cost
+/// exceeds a fresh stack's by this factor. Below it, re-entering wins
+/// (the skeleton encoding is saved and skeleton/scenario lemmas are
+/// shared); above it, the warmed solver's foreign learnt database and
+/// activity profile are predicted to cost more than they save.
+const WARM_LOSS_MARGIN: f64 = 1.25;
+
+/// Per-key cost model: exponentially-weighted averages of the solver
+/// work one invariant's sweep costs on this key, split by whether the
+/// sweep ran on a pool-warmed session or a freshly built stack. Costs
+/// are derived from the per-check [`SolverStats`] deltas (conflicts
+/// weighted heavily, propagations lightly — see [`session_cost`]).
+#[derive(Clone, Copy, Debug, Default)]
+struct KeyCost {
+    fresh: Option<f64>,
+    warm: Option<f64>,
+}
+
+impl KeyCost {
+    fn record(&mut self, warmed: bool, cost: f64) {
+        let slot = if warmed { &mut self.warm } else { &mut self.fresh };
+        *slot = Some(match *slot {
+            None => cost,
+            Some(prev) => prev + COST_EWMA_ALPHA * (cost - prev),
+        });
+        // While the model predicts warm losses, no warmed sweep ever runs
+        // on this key, so the warm estimate could never be contradicted —
+        // a one-way ratchet. Decay the stale warm estimate toward each
+        // fresh observation instead: after a few fresh sweeps the
+        // prediction re-opens and the next warmed sweep re-measures the
+        // truth (its downside is bounded — one sweep).
+        if !warmed && !self.warm_predicted_to_win() {
+            let warm = self.warm.expect("prediction requires a warm estimate");
+            self.warm = Some(warm + WARM_RECOVERY_ALPHA * (cost - warm));
+        }
+    }
+
+    /// Whether a warmed session is predicted to beat a fresh stack for
+    /// the next invariant on this key. Optimistic until evidence exists
+    /// both ways: the first warmed sweep on a key is the experiment that
+    /// produces the warm estimate (its downside is bounded — one sweep —
+    /// while the blind cutoff this model replaces forfeited the win on
+    /// every heavyweight key forever).
+    fn warm_predicted_to_win(&self) -> bool {
+        match (self.fresh, self.warm) {
+            (Some(fresh), Some(warm)) => warm <= fresh * WARM_LOSS_MARGIN,
+            _ => true,
+        }
+    }
+}
+
+/// Scalar cost of one invariant's sweep on a session, from its
+/// [`SolverStats`] delta: conflicts dominate solver wall-clock; the
+/// propagation term keeps pure-propagation sweeps comparable.
+fn session_cost(delta: &SolverStats) -> f64 {
+    delta.conflicts as f64 + delta.propagations as f64 / 256.0
+}
+
+/// The verifier's pool of live solver sessions plus the per-key cost
+/// model driving retire/pool decisions.
+///
+/// All locking recovers from poisoning: both maps are plain caches whose
+/// invariants hold after any partial mutation (a pushed-or-not session, a
+/// half-updated EWMA), so a worker thread that panicked mid-`verify_all`
+/// must not wedge every later verify on this verifier.
+struct SessionPool {
+    idle: Mutex<HashMap<SessionKey, Vec<Encoded>>>,
+    costs: Mutex<HashMap<SessionKey, KeyCost>>,
+}
+
+impl SessionPool {
+    fn new() -> SessionPool {
+        SessionPool { idle: Mutex::new(HashMap::new()), costs: Mutex::new(HashMap::new()) }
+    }
+
+    /// Locks a cache map, recovering the guard if a previous holder
+    /// panicked (the data is a valid cache state either way).
+    fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn pooled(&self) -> usize {
+        Self::lock(&self.idle).values().map(Vec::len).sum()
+    }
+
+    /// Pops an idle session for `key` if the cost model predicts a warm
+    /// start wins; when it predicts a loss, any idle sessions for the key
+    /// are dropped (their learnt databases are dead weight) and `None`
+    /// directs the caller to a fresh stack.
+    fn checkout(&self, key: &SessionKey) -> Option<Encoded> {
+        let predicted_win =
+            Self::lock(&self.costs).get(key).copied().unwrap_or_default().warm_predicted_to_win();
+        let mut idle = Self::lock(&self.idle);
+        if predicted_win {
+            idle.get_mut(key).and_then(Vec::pop)
+        } else {
+            idle.remove(key);
+            None
+        }
+    }
+
+    /// Records the observed cost of one invariant's sweep on `key`.
+    fn record(&self, key: &SessionKey, warmed: bool, delta: &SolverStats) {
+        Self::lock(&self.costs).entry(key.clone()).or_default().record(warmed, session_cost(delta));
+    }
+
+    /// Returns a session to the pool — unless the cost model now predicts
+    /// warmed sessions lose on this key, in which case it is retired
+    /// (dropped). Sessions beyond the per-key cap are dropped too.
+    fn checkin(&self, key: SessionKey, enc: Encoded) {
+        if !Self::lock(&self.costs).get(&key).copied().unwrap_or_default().warm_predicted_to_win() {
+            return;
+        }
+        let mut idle = Self::lock(&self.idle);
+        let slot = idle.entry(key).or_default();
+        if slot.len() < MAX_POOLED_SESSIONS {
+            slot.push(enc);
+        }
+    }
+}
 
 /// The VMN verifier for one network.
 pub struct Verifier<'n> {
@@ -166,10 +312,11 @@ pub struct Verifier<'n> {
     policy: PolicyClasses,
     /// Live solver sessions (scenario-/invariant-free skeletons plus
     /// everything registered on them so far), keyed by (node-set, trace
-    /// bound). `verify` checks a session out, solves on it, and returns
-    /// it; `verify_all` workers thereby share warmed-up solver state
-    /// across invariants instead of rebuilding a stack per representative.
-    sessions: Mutex<HashMap<SessionKey, Vec<Encoded>>>,
+    /// bound), with the cost model driving retire/pool decisions.
+    /// `verify` checks sessions out, solves on them, and returns them;
+    /// `verify_all` workers thereby share warmed-up solver state across
+    /// invariants instead of rebuilding a stack per representative.
+    pool: SessionPool,
 }
 
 impl<'n> Verifier<'n> {
@@ -179,7 +326,7 @@ impl<'n> Verifier<'n> {
             Some(groups) => PolicyClasses::from_groups(groups.clone()),
             None => PolicyClasses::compute(net),
         };
-        Ok(Verifier { net, options, policy, sessions: Mutex::new(HashMap::new()) })
+        Ok(Verifier { net, options, policy, pool: SessionPool::new() })
     }
 
     pub fn policy(&self) -> &PolicyClasses {
@@ -188,33 +335,39 @@ impl<'n> Verifier<'n> {
 
     /// Number of idle sessions currently pooled (diagnostics/tests).
     pub fn pooled_sessions(&self) -> usize {
-        self.sessions.lock().unwrap().values().map(Vec::len).sum()
+        self.pool.pooled()
     }
 
     /// Checks a session for `(nodes, k)` out of the pool, building the
-    /// skeleton only on a miss (or always, when session reuse is off).
-    fn checkout_session(&self, nodes: &[NodeId], k: usize) -> Result<Encoded, VerifyError> {
+    /// skeleton on a miss, when the cost model vetoes reuse, or always
+    /// when session reuse is off. The flag reports whether the session
+    /// came back warmed (pool hit).
+    fn checkout_session(&self, nodes: &[NodeId], k: usize) -> Result<(Encoded, bool), VerifyError> {
         if self.options.reuse_sessions {
-            let mut pool = self.sessions.lock().unwrap();
-            if let Some(enc) = pool.get_mut(&(nodes.to_vec(), k)).and_then(Vec::pop) {
-                return Ok(enc);
+            if let Some(mut enc) = self.pool.checkout(&(nodes.to_vec(), k)) {
+                // A session that has absorbed a heavyweight search since
+                // its last scrub carries an activity/phase profile tuned
+                // to a foreign query; scrub it (keeping the clause
+                // database and caches) so re-entry starts a clean search
+                // over warm lemmas. The watermark makes this a per-wear
+                // decision: many light sweeps never re-trigger it.
+                if enc.ctx.conflicts_since_search_reset() >= SCRUB_SEARCH_CONFLICTS {
+                    enc.ctx.reset_search_state();
+                }
+                return Ok((enc, true));
             }
         }
-        Ok(encoder::encode_skeleton(self.net, nodes, k)?)
+        Ok((encoder::encode_skeleton(self.net, nodes, k)?, false))
     }
 
-    /// Returns a session to the pool for the next invariant with the same
-    /// key. Worn-out sessions (see [`SESSION_RETIRE_CONFLICTS`]) and
-    /// sessions beyond the per-key cap are dropped.
-    fn checkin_session(&self, key: SessionKey, enc: Encoded) {
-        if !self.options.reuse_sessions || enc.ctx.stats().conflicts > SESSION_RETIRE_CONFLICTS {
+    /// Feeds the cost model and returns the session to the pool for the
+    /// next invariant with the same key (unless the model retires it).
+    fn checkin_session(&self, key: SessionKey, enc: Encoded, warmed: bool, delta: &SolverStats) {
+        if !self.options.reuse_sessions {
             return;
         }
-        let mut pool = self.sessions.lock().unwrap();
-        let slot = pool.entry(key).or_default();
-        if slot.len() < MAX_POOLED_SESSIONS {
-            slot.push(enc);
-        }
+        self.pool.record(&key, warmed, delta);
+        self.pool.checkin(key, enc);
     }
 
     /// The per-scenario verification plan: slice (or whole terminal set)
@@ -240,24 +393,29 @@ impl<'n> Verifier<'n> {
     /// Verifies a single invariant across all configured failure
     /// scenarios, stopping at the first violation.
     ///
-    /// By default (`options.incremental`) the sweep is *incremental*: the
-    /// per-scenario slices are united into one node set, one encoder holds
-    /// the scenario-independent formula at the largest required trace
-    /// bound, each scenario contributes only an activation literal plus
-    /// its liveness/delivery facts, and each check is one assumption-based
-    /// call on the persistent solver — clauses learnt refuting scenario
-    /// `n` carry over to scenario `n+1`. (A union of sufficient slices is
-    /// itself sufficient, and a larger trace bound only widens the
-    /// violation search, so verdicts match the per-scenario baseline;
-    /// the differential tests replay every extracted witness on the
-    /// concrete simulator as an additional safeguard.)
+    /// By default (`options.incremental`) the sweep is *incremental* and
+    /// *clustered*: the per-scenario slices are grouped by Jaccard
+    /// similarity (see `options.cluster_threshold`), each cluster gets
+    /// one encoder holding the scenario-independent formula over the
+    /// union of its members' slices at the largest required bound, and
+    /// each scenario is one assumption-based call on its cluster's
+    /// persistent solver — clauses learnt refuting scenario `n` carry
+    /// over to every later scenario of the same cluster. Scenarios are
+    /// still checked in their configured order (sessions interleave), so
+    /// the first violating scenario matches the per-scenario baseline.
+    /// (A union of sufficient slices is itself sufficient, and a larger
+    /// trace bound only widens the violation search, so verdicts match
+    /// the baseline for *any* clustering; the differential tests and the
+    /// fuzz suite replay every extracted witness on the concrete
+    /// simulator as an additional safeguard.)
     ///
-    /// With `options.reuse_sessions` (the default) the solver session
-    /// additionally persists *across invariants*: the skeleton is checked
+    /// With `options.reuse_sessions` (the default) the cluster sessions
+    /// additionally persist *across invariants*: each skeleton is checked
     /// out of a pool keyed by (node-set, trace bound), this invariant's
     /// violation formula is registered behind an activation literal, and
     /// the session — with every clause learnt so far — is returned for
-    /// the next invariant with the same key.
+    /// the next invariant with the same key, governed by the pool's
+    /// per-key cost model.
     pub fn verify(&self, inv: &Invariant) -> Result<Report, VerifyError> {
         let start = Instant::now();
         let scenarios = self.net.all_scenarios();
@@ -308,22 +466,20 @@ impl<'n> Verifier<'n> {
             ));
         }
 
-        // Plan the scenarios up front, then solve the whole sweep on one
-        // persistent solver session over the union of the slices. A plan
-        // error stops planning but must not mask a violation in an
-        // *earlier* scenario (the baseline plans lazily and would have
-        // reported it first), so the planned prefix is still checked
-        // before the error is surfaced.
-        let mut union_nodes: Vec<NodeId> = Vec::new();
-        let mut k = 1;
-        let mut planned = 0;
+        // Plan the scenarios up front, cluster their slices by overlap,
+        // and solve the sweep on one persistent solver session *per
+        // cluster*. A plan error stops planning but must not mask a
+        // violation in an *earlier* scenario (the baseline plans lazily
+        // and would have reported it first), so the planned prefix is
+        // still checked before the error is surfaced.
+        let mut slices: Vec<Vec<NodeId>> = Vec::new();
+        let mut bounds_per_scenario: Vec<usize> = Vec::new();
         let mut plan_error = None;
         for scenario in &scenarios {
             match self.plan(inv, scenario) {
                 Ok((nodes, ks)) => {
-                    union_nodes.extend(nodes);
-                    k = k.max(ks);
-                    planned += 1;
+                    slices.push(nodes);
+                    bounds_per_scenario.push(ks);
                 }
                 Err(e) => {
                     plan_error = Some(e);
@@ -331,61 +487,118 @@ impl<'n> Verifier<'n> {
                 }
             }
         }
+        let planned = slices.len();
         if planned > 0 {
-            union_nodes.sort();
-            union_nodes.dedup();
-            // The session may have been warmed up by other invariants with
-            // the same (node-set, bound) key; the stats delta below still
-            // attributes only this invariant's checks to its report.
-            let mut enc = self.checkout_session(&union_nodes, k)?;
-            let stats_before = enc.ctx.stats();
+            // NaN survives f64::clamp; fall back to the documented default
+            // rather than silently disabling every merge.
+            let threshold = if self.options.cluster_threshold.is_nan() {
+                DEFAULT_CLUSTER_THRESHOLD
+            } else {
+                self.options.cluster_threshold.clamp(0.0, 1.0)
+            };
+            let clusters = cluster_slices(&slices, threshold);
+            // Per cluster: the union node set, the max bound, and —
+            // lazily, when its first scenario comes up — the session.
+            struct ClusterState {
+                nodes: Vec<NodeId>,
+                k: usize,
+                session: Option<(Encoded, bool, SolverStats)>,
+            }
+            let mut states: Vec<ClusterState> = clusters
+                .iter()
+                .map(|members| {
+                    let mut nodes: Vec<NodeId> =
+                        members.iter().flat_map(|&i| slices[i].iter().copied()).collect();
+                    nodes.sort();
+                    nodes.dedup();
+                    let k = members
+                        .iter()
+                        .map(|&i| bounds_per_scenario[i])
+                        .max()
+                        .expect("clusters are non-empty");
+                    ClusterState { nodes, k, session: None }
+                })
+                .collect();
+            let mut cluster_of: Vec<usize> = vec![0; planned];
+            for (c, members) in clusters.iter().enumerate() {
+                for &i in members {
+                    cluster_of[i] = c;
+                }
+            }
             let mut scenarios_checked = 0;
             let mut outcome: Result<Option<(Trace, FailureScenario)>, VerifyError> = Ok(None);
-            for scenario in scenarios.into_iter().take(planned) {
+            let mut errored_cluster = None;
+            for (i, scenario) in scenarios.into_iter().take(planned).enumerate() {
+                let state = &mut states[cluster_of[i]];
+                if state.session.is_none() {
+                    // Sessions may have been warmed up by other invariants
+                    // with the same (node-set, bound) key; the stats delta
+                    // below still attributes only this invariant's checks
+                    // to its report.
+                    match self.checkout_session(&state.nodes, state.k) {
+                        Ok((enc, warmed)) => {
+                            let before = enc.ctx.stats();
+                            state.session = Some((enc, warmed, before));
+                        }
+                        Err(e) => {
+                            outcome = Err(e);
+                            break;
+                        }
+                    }
+                }
+                let (enc, ..) = state.session.as_mut().expect("installed above");
                 scenarios_checked += 1;
                 match enc.check_invariant_scenario(self.net, inv, &scenario) {
                     Ok(SatResult::Sat) => {
-                        outcome = Ok(Some((Trace::extract(&mut enc), scenario)));
+                        outcome = Ok(Some((Trace::extract(enc), scenario)));
                         break;
                     }
                     Ok(SatResult::Unsat) => {}
                     Err(e) => {
                         outcome = Err(e.into());
+                        errored_cluster = Some(cluster_of[i]);
                         break;
                     }
                 }
             }
-            let solver = enc.ctx.stats().delta_since(&stats_before);
-            match outcome {
-                // A session whose check errored may hold a half-registered
-                // scenario encoding; drop it instead of pooling, so later
-                // invariants with the same key start from a clean skeleton.
-                Err(e) => return Err(e),
-                Ok(found) => {
-                    self.checkin_session((union_nodes.clone(), k), enc);
-                    match found {
-                        Some((trace, scenario)) => {
-                            let verdict = Verdict::Violated { trace, scenario };
-                            return Ok(report(
-                                verdict,
-                                scenarios_checked,
-                                union_nodes.len(),
-                                k,
-                                solver,
-                            ));
-                        }
-                        None if plan_error.is_none() => {
-                            return Ok(report(
-                                Verdict::Holds,
-                                scenarios_checked,
-                                union_nodes.len(),
-                                k,
-                                solver,
-                            ));
-                        }
-                        None => {}
-                    }
+
+            // Return every touched session to the pool (with its observed
+            // cost), summing the per-cluster deltas into this invariant's
+            // attribution, and report sizes/bounds over the clusters that
+            // were *actually encoded* (an early violation may leave later
+            // clusters unbuilt). A session whose check errored may hold a
+            // half-registered scenario encoding; drop it instead, so later
+            // invariants with the same key start from a clean skeleton.
+            let mut solver = SolverStats::default();
+            let mut encoded_nodes = 0;
+            let mut steps = 1;
+            for (c, state) in states.into_iter().enumerate() {
+                let Some((enc, warmed, before)) = state.session else { continue };
+                encoded_nodes = encoded_nodes.max(state.nodes.len());
+                steps = steps.max(state.k);
+                let delta = enc.ctx.stats().delta_since(&before);
+                solver = solver + delta;
+                if errored_cluster != Some(c) {
+                    self.checkin_session((state.nodes, state.k), enc, warmed, &delta);
                 }
+            }
+
+            match outcome {
+                Err(e) => return Err(e),
+                Ok(Some((trace, scenario))) => {
+                    let verdict = Verdict::Violated { trace, scenario };
+                    return Ok(report(verdict, scenarios_checked, encoded_nodes, steps, solver));
+                }
+                Ok(None) if plan_error.is_none() => {
+                    return Ok(report(
+                        Verdict::Holds,
+                        scenarios_checked,
+                        encoded_nodes,
+                        steps,
+                        solver,
+                    ));
+                }
+                Ok(None) => {}
             }
         }
         Err(plan_error.expect("no-error case returned above; scenarios is never empty"))
@@ -619,6 +832,130 @@ mod engine_tests {
         assert_eq!(reports[1].elapsed, Duration::ZERO, "inherited elapsed must not double-count");
         assert_eq!(reports[1].solver.decisions, 0);
         assert_eq!(reports[1].solver.propagations, 0);
+    }
+
+    #[test]
+    fn key_cost_model_predictions() {
+        let mut c = KeyCost::default();
+        assert!(c.warm_predicted_to_win(), "no evidence: optimistic");
+        c.record(false, 1000.0);
+        assert!(c.warm_predicted_to_win(), "fresh-only evidence: still optimistic");
+        c.record(true, 800.0);
+        assert!(c.warm_predicted_to_win(), "warm cheaper than fresh");
+        // A run of expensive warmed sweeps flips the prediction…
+        for _ in 0..4 {
+            c.record(true, 5000.0);
+        }
+        assert!(!c.warm_predicted_to_win(), "warm EWMA far above fresh");
+        // …cheaper warm samples win it back directly (EWMA, not a
+        // ratchet)…
+        for _ in 0..6 {
+            c.record(true, 500.0);
+        }
+        assert!(c.warm_predicted_to_win(), "cost model must recover from warm evidence");
+        // …and — crucially — so do *fresh* samples alone: while the
+        // prediction blocks warmed starts, the system can only ever
+        // observe fresh sweeps, so the stale warm estimate must decay
+        // toward them or the model would ratchet shut forever.
+        for _ in 0..4 {
+            c.record(true, 50_000.0);
+        }
+        assert!(!c.warm_predicted_to_win());
+        let mut fresh_rounds = 0;
+        while !c.warm_predicted_to_win() {
+            c.record(false, 1000.0);
+            fresh_rounds += 1;
+            assert!(fresh_rounds < 100, "fresh-only evidence must eventually re-open the key");
+        }
+    }
+
+    #[test]
+    fn cost_model_retires_sessions_predicted_to_lose() {
+        let (net, src, dst) = pipelined(true);
+        let opts = VerifyOptions { steps_override: Some(4), ..Default::default() };
+        let v = Verifier::new(&net, opts).unwrap();
+        let inv = Invariant::NodeIsolation { src, dst };
+        let r = v.verify(&inv).unwrap();
+        assert_eq!(v.pooled_sessions(), 1);
+        // Force the model to predict warmed losses for the pooled key.
+        {
+            let mut costs = SessionPool::lock(&v.pool.costs);
+            let key = costs.keys().next().cloned().expect("one key recorded");
+            let cost = costs.get_mut(&key).unwrap();
+            cost.record(false, 10.0);
+            for _ in 0..4 {
+                cost.record(true, 1_000_000.0);
+            }
+            assert!(!cost.warm_predicted_to_win());
+        }
+        // Checkout now rebuilds fresh (and drains the stale idle session);
+        // checkin retires instead of pooling.
+        let r2 = v.verify(&inv).unwrap();
+        assert_eq!(r.verdict.holds(), r2.verdict.holds());
+        assert_eq!(v.pooled_sessions(), 0, "predicted-to-lose sessions must be retired");
+    }
+
+    #[test]
+    fn pool_lock_poisoning_does_not_wedge_later_verifies() {
+        let (net, src, dst) = pipelined(true);
+        let v = Verifier::new(&net, VerifyOptions::default()).unwrap();
+        let inv = Invariant::NodeIsolation { src, dst };
+        let first = v.verify(&inv).unwrap();
+        assert!(v.pooled_sessions() > 0);
+        // Poison both pool mutexes: a worker panicking while holding the
+        // lock marks it poisoned for every later lock().
+        std::thread::scope(|s| {
+            let idle = s.spawn(|| {
+                let _guard = v.pool.idle.lock().unwrap();
+                panic!("worker dies holding the idle lock");
+            });
+            let costs = s.spawn(|| {
+                let _guard = v.pool.costs.lock().unwrap();
+                panic!("worker dies holding the costs lock");
+            });
+            assert!(idle.join().is_err());
+            assert!(costs.join().is_err());
+        });
+        assert!(v.pool.idle.is_poisoned(), "the test must actually poison the lock");
+        // Later verifies (and pool diagnostics) recover instead of
+        // propagating the poison.
+        assert!(v.pooled_sessions() > 0);
+        let again = v.verify(&inv).unwrap();
+        assert_eq!(first.verdict.holds(), again.verdict.holds());
+        let all = v.verify_all(&[inv.clone(), inv], 2).unwrap();
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn cluster_threshold_extremes_agree() {
+        // Deny-all firewalls (invariant holds in the no-failure scenario,
+        // violated under fw1's failure): every clustering — one union,
+        // default, per-scenario — must match the from-scratch baseline on
+        // verdict, first violating scenario and scenario count.
+        let (mut net, src, dst) = pipelined(false);
+        for name in ["fw1", "fw2"] {
+            let fw = net.topo.by_name(name).unwrap();
+            net.set_model(fw, models::learning_firewall("stateful-firewall", vec![]));
+        }
+        net.add_scenario(vmn_net::FailureScenario::nodes([dst]));
+        let inv = Invariant::NodeIsolation { src, dst };
+        let base = Verifier::new(&net, VerifyOptions { incremental: false, ..Default::default() })
+            .unwrap();
+        let want = base.verify(&inv).unwrap();
+        for threshold in [0.0, DEFAULT_CLUSTER_THRESHOLD, 1.0] {
+            let opts = VerifyOptions { cluster_threshold: threshold, ..Default::default() };
+            let v = Verifier::new(&net, opts).unwrap();
+            let got = v.verify(&inv).unwrap();
+            assert_eq!(got.verdict.holds(), want.verdict.holds(), "threshold {threshold}");
+            assert_eq!(got.scenarios_checked, want.scenarios_checked, "threshold {threshold}");
+            if let (
+                Verdict::Violated { scenario: gs, .. },
+                Verdict::Violated { scenario: ws, .. },
+            ) = (&got.verdict, &want.verdict)
+            {
+                assert_eq!(gs, ws, "threshold {threshold}: first violating scenario");
+            }
+        }
     }
 
     #[test]

@@ -101,6 +101,122 @@ pub fn compute_slice(
     Ok(set.into_iter().collect())
 }
 
+/// Jaccard similarity of two sorted, deduplicated node sets:
+/// `|a ∩ b| / |a ∪ b|`. Two empty sets are identical (similarity 1.0).
+pub fn jaccard(a: &[NodeId], b: &[NodeId]) -> f64 {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "slice must be sorted+deduped");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "slice must be sorted+deduped");
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Groups per-scenario slices by similarity: greedy agglomerative
+/// merging, repeatedly uniting the two clusters whose *unions* are most
+/// similar (Jaccard) until no pair reaches `threshold`. Returns the
+/// clusters as lists of input indices, each sorted, ordered by smallest
+/// member — a partition of `0..slices.len()`.
+///
+/// The threshold interpolates between the engine's two extremes:
+///
+/// * `threshold <= 0.0` — everything merges: one cluster, the single
+///   union-of-all-slices sweep;
+/// * `threshold >= 1.0` — only *identical* slices merge (their Jaccard
+///   similarity is exactly 1.0): the per-scenario extreme, except that
+///   scenarios with the same slice still share one encoding;
+/// * in between — scenarios whose slices overlap enough share an
+///   encoder/solver session, wildly divergent ones get their own small
+///   one.
+///
+/// Inputs need not be sorted; each slice is normalised first. Soundness
+/// does not depend on the grouping: every cluster's union contains each
+/// member scenario's sufficient slice, so any partition yields the same
+/// verdicts (the fuzz suite checks exactly this across thresholds).
+pub fn cluster_slices(slices: &[Vec<NodeId>], threshold: f64) -> Vec<Vec<usize>> {
+    // Cluster state: (member indices, union of member slices).
+    let mut clusters: Vec<(Vec<usize>, Vec<NodeId>)> = slices
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let mut u = s.clone();
+            u.sort();
+            u.dedup();
+            (vec![i], u)
+        })
+        .collect();
+    // Cached pairwise similarities: only the merged cluster's row changes
+    // per round, so each merge costs one row of jaccard() recomputations
+    // instead of the full O(n²) matrix.
+    let n = clusters.len();
+    let mut sims: Vec<Vec<f64>> = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let s = jaccard(&clusters[i].1, &clusters[j].1);
+            sims[i][j] = s;
+            sims[j][i] = s;
+        }
+    }
+    loop {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..clusters.len() {
+            for j in (i + 1)..clusters.len() {
+                let sim = sims[i][j];
+                // Strictly-greater keeps ties on the earliest pair, making
+                // the grouping deterministic across platforms.
+                if best.map_or(true, |(.., b)| sim > b) {
+                    best = Some((i, j, sim));
+                }
+            }
+        }
+        match best {
+            Some((i, j, sim)) if sim >= threshold => {
+                let (members, union) = clusters.swap_remove(j);
+                clusters[i].0.extend(members);
+                clusters[i].1.extend(union);
+                clusters[i].1.sort();
+                clusters[i].1.dedup();
+                // Mirror the swap_remove in the similarity matrix, then
+                // refresh the merged cluster's row/column.
+                sims.swap_remove(j);
+                for row in &mut sims {
+                    row.swap_remove(j);
+                }
+                for k in 0..clusters.len() {
+                    if k != i {
+                        let s = jaccard(&clusters[i].1, &clusters[k].1);
+                        sims[i][k] = s;
+                        sims[k][i] = s;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let mut out: Vec<Vec<usize>> = clusters
+        .into_iter()
+        .map(|(mut members, _)| {
+            members.sort();
+            members
+        })
+        .collect();
+    out.sort_by_key(|c| c[0]);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +264,104 @@ mod tests {
             ),
         );
         (net, pairs)
+    }
+
+    fn n(i: u32) -> NodeId {
+        // NodeId is an index newtype; fabricate ids directly for the
+        // metric tests (no topology needed).
+        NodeId(i)
+    }
+
+    #[test]
+    fn jaccard_metric_basics() {
+        let a = vec![n(0), n(1), n(2)];
+        let b = vec![n(1), n(2), n(3)];
+        assert_eq!(jaccard(&a, &a), 1.0);
+        assert_eq!(jaccard(&a, &b), 0.5);
+        assert_eq!(jaccard(&a, &[n(7), n(8)]), 0.0);
+        assert_eq!(jaccard(&[], &[]), 1.0, "two empty slices are identical");
+        assert_eq!(jaccard(&a, &[]), 0.0);
+    }
+
+    #[test]
+    fn identical_slices_always_merge() {
+        let s = vec![n(0), n(1), n(2)];
+        for threshold in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let clusters = cluster_slices(&[s.clone(), s.clone(), s.clone()], threshold);
+            assert_eq!(clusters, vec![vec![0, 1, 2]], "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn disjoint_slices_never_merge_above_zero() {
+        let slices = vec![vec![n(0), n(1)], vec![n(2), n(3)], vec![n(4), n(5)]];
+        for threshold in [0.1, 0.5, 1.0] {
+            let clusters = cluster_slices(&slices, threshold);
+            assert_eq!(clusters, vec![vec![0], vec![1], vec![2]], "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn threshold_zero_degenerates_to_one_union() {
+        // Even fully disjoint slices collapse into a single cluster: the
+        // PR-2 union-of-all-slices sweep.
+        let slices = vec![vec![n(0)], vec![n(1)], vec![n(2)], vec![n(3)]];
+        let clusters = cluster_slices(&slices, 0.0);
+        assert_eq!(clusters, vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn threshold_one_degenerates_to_per_scenario() {
+        // Overlapping-but-distinct slices all stay separate; only the
+        // identical pair (0, 3) shares a cluster.
+        let slices = vec![
+            vec![n(0), n(1), n(2)],
+            vec![n(0), n(1), n(3)],
+            vec![n(0), n(1), n(2), n(4)],
+            vec![n(0), n(1), n(2)],
+        ];
+        let clusters = cluster_slices(&slices, 1.0);
+        assert_eq!(clusters, vec![vec![0, 3], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn intermediate_threshold_groups_by_overlap() {
+        // Two "families" sharing only the invariant endpoints {0, 1}:
+        // within a family overlap is 3/5 = 0.6, across families 2/6 ≈
+        // 0.33 — a 0.4 threshold splits exactly along families.
+        let slices = vec![
+            vec![n(0), n(1), n(2), n(3)],
+            vec![n(0), n(1), n(2), n(4)],
+            vec![n(0), n(1), n(5), n(6)],
+            vec![n(0), n(1), n(5), n(7)],
+        ];
+        let clusters = cluster_slices(&slices, 0.4);
+        assert_eq!(clusters, vec![vec![0, 1], vec![2, 3]]);
+        // Unsorted input is normalised, not misgrouped.
+        let shuffled = vec![
+            vec![n(3), n(0), n(2), n(1)],
+            vec![n(4), n(2), n(1), n(0)],
+            vec![n(6), n(5), n(1), n(0)],
+            vec![n(7), n(0), n(5), n(1)],
+        ];
+        assert_eq!(cluster_slices(&shuffled, 0.4), clusters);
+    }
+
+    #[test]
+    fn clusters_partition_the_input() {
+        let slices = vec![
+            vec![n(0), n(1)],
+            vec![n(1), n(2)],
+            vec![n(9)],
+            vec![n(0), n(1)],
+            vec![n(3), n(4), n(5)],
+        ];
+        for threshold in [0.0, 0.3, 0.7, 1.0] {
+            let clusters = cluster_slices(&slices, threshold);
+            let mut seen: Vec<usize> = clusters.iter().flatten().copied().collect();
+            seen.sort();
+            assert_eq!(seen, vec![0, 1, 2, 3, 4], "threshold {threshold} must partition");
+        }
     }
 
     #[test]

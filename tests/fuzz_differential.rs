@@ -1,0 +1,276 @@
+//! Randomized differential fuzzing of the whole incremental solving
+//! stack: random topologies (hosts, stateful/stateless firewalls, load
+//! balancers), random steering with failover priorities, random policy
+//! groups and random failure scenarios — verified by four engines that
+//! must agree on every observable:
+//!
+//! * the from-scratch oracle (`incremental: false`: fresh slice, encoder
+//!   and solver per scenario);
+//! * the single-union incremental sweep (`cluster_threshold: 0.0` — the
+//!   PR-2 engine);
+//! * the clustered incremental sweep (the default threshold);
+//! * the per-scenario-session extreme (`cluster_threshold: 1.0`).
+//!
+//! Verdicts, scenario counts and first violating scenarios must match
+//! pairwise, every violation witness must replay into a real forbidden
+//! reception on the concrete simulator, and re-verifying on the clustered
+//! engine (re-entering its pooled, cost-modelled sessions) must be
+//! stable. Cases are generated from the proptest harness's deterministic
+//! per-test seed, so failures reproduce exactly; set `VMN_FUZZ_CASES` to
+//! bound the case count (CI pins a small subset, the default is 200).
+
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use vmn::{Invariant, Network, Verdict, Verifier, VerifyOptions};
+use vmn_mbox::models;
+use vmn_net::{Address, FailureScenario, NodeId, Prefix, RoutingConfig, Rule, Topology};
+
+fn fuzz_cases() -> u32 {
+    match std::env::var("VMN_FUZZ_CASES") {
+        Ok(v) => v.parse().expect("VMN_FUZZ_CASES must be a number"),
+        Err(_) => 200,
+    }
+}
+
+fn px(s: &str) -> Prefix {
+    s.parse().unwrap()
+}
+
+/// One generated verification problem.
+struct Case {
+    net: Network,
+    hint: Option<Vec<Vec<NodeId>>>,
+    inv: Invariant,
+    label: String,
+}
+
+/// Derives a random network + invariant from the fuzz RNG. The shape is
+/// constrained to what the bounded encoding supports by construction
+/// (hub topology, host-keyed steering with failover priorities, no
+/// middlebox-to-middlebox chains), but everything else — counts, kinds,
+/// ACLs, backends, steering, scenarios, policy groups, invariant — is
+/// drawn at random.
+fn generate(rng: &mut TestRng) -> Case {
+    let mut topo = Topology::new();
+    let sw = topo.add_switch("sw");
+
+    // 2..=3 host pairs: a_i = 10.(i+1).0.1, b_i = 10.(i+1).0.2.
+    let pairs = 2 + rng.below(2) as usize;
+    let mut hosts: Vec<NodeId> = Vec::new();
+    let mut groups: Vec<Vec<NodeId>> = Vec::new();
+    for i in 0..pairs {
+        let a = topo.add_host(format!("a{i}"), Address(0x0A00_0001 + ((i as u32 + 1) << 16)));
+        let b = topo.add_host(format!("b{i}"), Address(0x0A00_0002 + ((i as u32 + 1) << 16)));
+        topo.add_link(a, sw);
+        topo.add_link(b, sw);
+        hosts.extend([a, b]);
+        groups.push(vec![a, b]);
+    }
+
+    // 0..=2 middleboxes: learning firewall, stateless ACL firewall, or a
+    // load balancer (VIP outside 10/8 so host steering never captures
+    // VIP traffic and pipelines stay one middlebox deep).
+    let vip = Address(0xC0A8_0001);
+    let n_mbox = rng.below(3) as usize;
+    let mut mboxes: Vec<NodeId> = Vec::new();
+    let mut lb: Option<NodeId> = None;
+    let mut kinds: Vec<&'static str> = Vec::new();
+    let mut label = format!("pairs={pairs}");
+    for m in 0..n_mbox {
+        let kind = rng.below(3);
+        let (node, name) = match kind {
+            2 if lb.is_none() => {
+                let node = topo.add_middlebox(format!("lb{m}"), "load-balancer", vec![vip]);
+                lb = Some(node);
+                (node, "lb")
+            }
+            _ => {
+                let stateful = kind != 1;
+                let name = if stateful { "fw" } else { "aclfw" };
+                let node = topo.add_middlebox(
+                    format!("{name}{m}"),
+                    if stateful { "stateful-firewall" } else { "acl-firewall" },
+                    vec![],
+                );
+                (node, name)
+            }
+        };
+        topo.add_link(node, sw);
+        mboxes.push(node);
+        kinds.push(name);
+        label.push_str(&format!(" {name}{m}"));
+    }
+
+    let mut rc = RoutingConfig::new();
+    rc.host_routes(&topo);
+    if let Some(lb) = lb {
+        rc.destination(Prefix::host(vip), lb);
+    }
+    let mut tables = rc.build(&topo, &FailureScenario::none());
+
+    // Random steering: traffic from a host to 10/8 goes through a random
+    // subset of the (non-LB) middleboxes, primary-then-backup by
+    // priority — exactly the shape whose re-converged slices diverge
+    // across failure scenarios.
+    for &h in &hosts {
+        for (mi, &m) in mboxes.iter().enumerate() {
+            if Some(m) == lb || rng.below(2) == 0 {
+                continue;
+            }
+            let prio = 30 - 5 * mi as i32;
+            tables.add_rule(sw, Rule::from_neighbor(px("10.0.0.0/8"), h, m).with_priority(prio));
+        }
+    }
+
+    let mut net = Network::new(topo, tables);
+
+    // Random models: ACLs drawn from the per-pair prefixes.
+    let prefix_pool: Vec<Prefix> = (0..pairs as u32)
+        .map(|i| Prefix::new(Address(0x0A00_0000 + ((i + 1) << 16)), 16))
+        .chain([px("10.0.0.0/8"), px("0.0.0.0/0")])
+        .collect();
+    for (mi, &m) in mboxes.iter().enumerate() {
+        if Some(m) == lb {
+            // 1..=2 random backends.
+            let mut backends: Vec<Address> = Vec::new();
+            for _ in 0..=rng.below(2) {
+                backends.push(net.host_address(hosts[rng.below(hosts.len() as u64) as usize]));
+            }
+            backends.dedup();
+            net.set_model(m, models::load_balancer("load-balancer", vip, backends));
+            continue;
+        }
+        let mut acl: Vec<(Prefix, Prefix)> = Vec::new();
+        for _ in 0..rng.below(3) {
+            let s = prefix_pool[rng.below(prefix_pool.len() as u64) as usize];
+            let d = prefix_pool[rng.below(prefix_pool.len() as u64) as usize];
+            acl.push((s, d));
+        }
+        if kinds[mi] == "fw" {
+            net.set_model(m, models::learning_firewall("stateful-firewall", acl));
+        } else {
+            net.set_model(m, models::acl_firewall("acl-firewall", acl));
+        }
+    }
+
+    // 1..=3 random failure scenarios over middleboxes (and, lacking any,
+    // hosts — failed endpoints are legal and exercise fail-stop).
+    let n_scen = 1 + rng.below(3);
+    for _ in 0..n_scen {
+        let targets: &[NodeId] = if mboxes.is_empty() { &hosts } else { &mboxes };
+        let mut failed: Vec<NodeId> = Vec::new();
+        for _ in 0..=rng.below(2) {
+            failed.push(targets[rng.below(targets.len() as u64) as usize]);
+        }
+        failed.sort();
+        failed.dedup();
+        net.add_scenario(FailureScenario::nodes(failed));
+    }
+
+    // Random invariant over distinct hosts. Data isolation (trace bound
+    // ~8) is drawn less often to keep the 200-case debug run fast.
+    let src = hosts[rng.below(hosts.len() as u64) as usize];
+    let dst = loop {
+        let d = hosts[rng.below(hosts.len() as u64) as usize];
+        if d != src {
+            break d;
+        }
+    };
+    // Traversal candidates exclude the load balancer: its endpoints join
+    // the slice, and walking the slice closure over the LB's own VIP is
+    // a static forwarding loop — the documented §3.5 exception, not a
+    // verification problem.
+    let through_pool: Vec<NodeId> = mboxes.iter().copied().filter(|&m| Some(m) != lb).collect();
+    let inv = match rng.below(8) {
+        0 | 1 | 2 => Invariant::NodeIsolation { src, dst },
+        3 | 4 => Invariant::FlowIsolation { src, dst },
+        5 => Invariant::DataIsolation { origin: src, dst },
+        _ if !through_pool.is_empty() => Invariant::Traversal {
+            dst,
+            through: vec![through_pool[rng.below(through_pool.len() as u64) as usize]],
+            from: Some(src),
+        },
+        _ => Invariant::NodeIsolation { src, dst },
+    };
+
+    // Random policy grouping: the natural per-pair hint, or computed by
+    // partition refinement (None) every fourth case.
+    let hint = if rng.below(4) == 0 { None } else { Some(groups) };
+    label.push_str(&format!(" scen={n_scen} inv={inv}"));
+    Case { net, hint, inv, label }
+}
+
+fn opts(case: &Case, incremental: bool, cluster_threshold: f64) -> VerifyOptions {
+    VerifyOptions {
+        policy_hint: case.hint.clone(),
+        incremental,
+        cluster_threshold,
+        ..Default::default()
+    }
+}
+
+/// Replays a violation witness on the concrete simulator and asserts it
+/// produces at least one real reception.
+fn assert_witness_replays(net: &Network, verdict: &Verdict, label: &str, engine: &str) {
+    if let Verdict::Violated { trace, scenario } = verdict {
+        let receptions = trace
+            .replay(net, scenario)
+            .unwrap_or_else(|e| panic!("{label}: {engine} witness fails to replay: {e}"));
+        assert!(!receptions.is_empty(), "{label}: {engine} witness replays to no reception");
+    }
+}
+
+fn run_case(seed: u64) {
+    let mut rng = TestRng::new(seed);
+    let case = generate(&mut rng);
+    let label = &case.label;
+
+    let oracle = Verifier::new(&case.net, opts(&case, false, 0.0)).expect("valid network");
+    let want = oracle.verify(&case.inv).expect("oracle verifies");
+    assert_witness_replays(&case.net, &want.verdict, label, "oracle");
+
+    let engines = [
+        ("single-union", 0.0),
+        ("clustered", VerifyOptions::default().cluster_threshold),
+        ("per-scenario", 1.0),
+    ];
+    for (engine, threshold) in engines {
+        let v = Verifier::new(&case.net, opts(&case, true, threshold)).expect("valid network");
+        let got = v.verify(&case.inv).expect("incremental verify succeeds");
+        assert_eq!(
+            got.verdict.holds(),
+            want.verdict.holds(),
+            "{label}: {engine} verdict diverges from oracle"
+        );
+        assert_eq!(
+            got.scenarios_checked, want.scenarios_checked,
+            "{label}: {engine} scenario count diverges"
+        );
+        if let (Verdict::Violated { scenario: gs, .. }, Verdict::Violated { scenario: ws, .. }) =
+            (&got.verdict, &want.verdict)
+        {
+            assert_eq!(gs, ws, "{label}: {engine} first violating scenario diverges");
+        }
+        assert_witness_replays(&case.net, &got.verdict, label, engine);
+
+        // Second pass on the same verifier: re-enters the pooled,
+        // cost-modelled sessions and must be observably identical.
+        let again = v.verify(&case.inv).expect("re-verify succeeds");
+        assert_eq!(
+            again.verdict.holds(),
+            got.verdict.holds(),
+            "{label}: {engine} verdict unstable across session reuse"
+        );
+        assert_eq!(again.scenarios_checked, got.scenarios_checked, "{label}: {engine} re-sweep");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fuzz_cases()))]
+
+    /// Four engines, one verdict — on fully random networks.
+    #[test]
+    fn engines_agree_on_random_networks(seed in any::<u64>()) {
+        run_case(seed);
+    }
+}
