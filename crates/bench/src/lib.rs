@@ -21,6 +21,8 @@
 //! classes, faster violation checks than proofs — are all preserved and
 //! asserted in `EXPERIMENTS.md`.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 use vmn::{Invariant, Network, Report, Verifier, VerifyOptions};
 use vmn_net::NodeId;

@@ -1,13 +1,17 @@
 //! `vmn` — verify reachability invariants in a network described by a
-//! `.vmn` file.
+//! `.vmn` file, or validate a stored certificate bundle.
 //!
 //! ```console
 //! $ vmn check network.vmn [--whole-network] [--threads N] [--trace]
-//!                         [--cluster-threshold F]
+//!                         [--cluster-threshold F] [--certificate OUT]
+//! $ vmn check run.cert          # first line `vmn-cert v1`: trusted check
 //! ```
 //!
-//! Exit code 0 when every invariant that should hold holds; 1 when any
-//! invariant is violated; 2 on usage or parse errors.
+//! Exit code 0 when every invariant that should hold holds (or every
+//! certificate is accepted); 1 when any invariant is violated (or any
+//! certificate is rejected); 2 on usage or parse errors.
+
+#![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 use vmn::{Verdict, Verifier, VerifyOptions};
@@ -16,17 +20,60 @@ mod config;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: vmn check <file.vmn> [--whole-network] [--threads N] [--trace]\n\
-         \x20                        [--cluster-threshold F]\n\
+        "usage: vmn check <file> [--whole-network] [--threads N] [--trace]\n\
+         \x20                    [--cluster-threshold F] [--certificate OUT]\n\
          \n\
-         Verifies every `verify` line of the file and prints a verdict per\n\
-         invariant. --whole-network disables slicing (for comparison),\n\
-         --threads enables parallel verification, --trace prints violation\n\
-         witnesses. --cluster-threshold sets the Jaccard slice-similarity\n\
-         threshold for grouping failure scenarios into shared solver\n\
-         sessions (0 = one union, 1 = per-scenario, default 0.4)."
+         With a `.vmn` network description, verifies every `verify` line\n\
+         and prints a verdict per invariant. --whole-network disables\n\
+         slicing (for comparison), --threads enables parallel\n\
+         verification, --trace prints violation witnesses.\n\
+         --cluster-threshold sets the Jaccard slice-similarity threshold\n\
+         for grouping failure scenarios into shared solver sessions (0 =\n\
+         one union, 1 = per-scenario, default 0.4). --certificate records\n\
+         a DRAT-style proof of every verdict and writes the bundles to\n\
+         OUT.\n\
+         \n\
+         With a stored certificate bundle (first line `vmn-cert v1`),\n\
+         runs the independent trusted checker on it instead: exit 0 if\n\
+         every bundle is accepted, 1 if any is rejected."
     );
     ExitCode::from(2)
+}
+
+/// Trusted-checker mode: validate every bundle in a stored certificate
+/// file. No solver code runs here — only `vmn_check`.
+fn check_certificates(file: &str, text: &str) -> ExitCode {
+    let bundles = match vmn::check::parse_bundles(text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("vmn: {file}: malformed certificate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut accepted = 0usize;
+    for bundle in &bundles {
+        match vmn::check::check_bundle(bundle) {
+            Ok(s) => {
+                accepted += 1;
+                println!(
+                    "CERTIFIED {}   [{} sessions, {} steps, {} checks: {} unsat, {} sat]",
+                    bundle.label, s.sessions, s.steps, s.checks, s.unsat_checks, s.sat_checks
+                );
+            }
+            Err(e) => println!("REJECTED  {}   {e}", bundle.label),
+        }
+    }
+    println!(
+        "{} certificate bundles: {} accepted, {} rejected",
+        bundles.len(),
+        accepted,
+        bundles.len() - accepted
+    );
+    if accepted < bundles.len() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn main() -> ExitCode {
@@ -36,6 +83,7 @@ fn main() -> ExitCode {
     let mut threads = 1usize;
     let mut trace = false;
     let mut cluster_threshold: Option<f64> = None;
+    let mut certificate_out: Option<String> = None;
     let mut it = args.iter();
     match it.next().map(String::as_str) {
         Some("check") => {}
@@ -69,6 +117,15 @@ fn main() -> ExitCode {
                     _ => return usage(),
                 }
             }
+            "--certificate" => {
+                certificate_out = match it.next() {
+                    Some(p) => Some(p.clone()),
+                    None => return usage(),
+                }
+            }
+            s if s.starts_with("--certificate=") => {
+                certificate_out = Some(s["--certificate=".len()..].to_string())
+            }
             s if !s.starts_with('-') && file.is_none() => file = Some(s.to_string()),
             _ => return usage(),
         }
@@ -83,6 +140,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // A stored certificate bundle instead of a network description:
+    // dispatch to the trusted checker (sniffed by the format header, so
+    // operators need no separate subcommand for the audit path).
+    if text.lines().next().map(str::trim) == Some(vmn::check::CERT_HEADER) {
+        return check_certificates(&file, &text);
+    }
     let cfg = match config::parse(&text) {
         Ok(c) => c,
         Err(e) => {
@@ -95,6 +158,7 @@ fn main() -> ExitCode {
     if let Some(t) = cluster_threshold {
         options.cluster_threshold = t;
     }
+    options.emit_proofs = certificate_out.is_some();
     let verifier = match Verifier::new(&cfg.net, options) {
         Ok(v) => v,
         Err(e) => {
@@ -111,6 +175,17 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(path) = &certificate_out {
+        // Inherited reports carry no certificate (the representative's
+        // bundle covers the symmetry group), so the file holds one bundle
+        // per solver run.
+        let bundles: Vec<_> = reports.iter().filter_map(|r| r.certificate.clone()).collect();
+        if let Err(e) = std::fs::write(path, vmn::check::write_bundles(&bundles)) {
+            eprintln!("vmn: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote {} certificate bundles to {path}", bundles.len());
+    }
 
     let mut any_violated = false;
     for ((spec, _), report) in cfg.invariants.iter().zip(&reports) {

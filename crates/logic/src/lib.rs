@@ -26,6 +26,8 @@
 //! | `prev φ` | `t > 0` and φ holds at `t − 1` |
 //! | `since(φ, ψ)` | ψ held at some step `≤ t` and φ has held at every later step up to now |
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use std::hash::Hash;
 use vmn_smt::{TermId, TermPool};

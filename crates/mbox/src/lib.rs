@@ -38,6 +38,8 @@
 //! assert_eq!(fw.parallelism, Parallelism::FlowParallel);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod exec;
 pub mod models;
 
@@ -136,6 +138,11 @@ impl Guard {
         Guard::Or(gs.into_iter().collect())
     }
 
+    /// Guard negation. An associated constructor (like [`Guard::and`] /
+    /// [`Guard::or`]), not a `std::ops::Not` impl: it consumes a `Guard`
+    /// argument rather than `self`, matching how model builders write
+    /// `Guard::not(...)` prefix-style in guard expressions.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(g: Guard) -> Guard {
         Guard::Not(Box::new(g))
     }

@@ -105,6 +105,9 @@ impl Prefix {
         self.addr
     }
 
+    /// The prefix length in bits — a measure, not a collection size, so
+    /// there is no `is_empty` counterpart (`is_default` covers /0).
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(self) -> u32 {
         self.len
     }

@@ -42,7 +42,7 @@ impl Rule {
     }
 
     fn matches(&self, dst: Address, from: NodeId) -> bool {
-        self.prefix.contains(dst) && self.from.map_or(true, |f| f == from)
+        self.prefix.contains(dst) && self.from.is_none_or(|f| f == from)
     }
 
     /// Sort key: better rules first.
@@ -108,7 +108,7 @@ impl ForwardingTables {
     ) -> Option<NodeId> {
         let mut candidates: Vec<&Rule> =
             self.rules(switch).iter().filter(|r| r.matches(dst, from)).collect();
-        candidates.sort_by(|a, b| b.rank().cmp(&a.rank()));
+        candidates.sort_by_key(|r| std::cmp::Reverse(r.rank()));
         for rule in candidates {
             let next = rule.next;
             if scenario.is_failed(next) {

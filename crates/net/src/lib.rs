@@ -22,6 +22,8 @@
 //!   middlebox chain a packet class traverses), the job the paper
 //!   delegates to existing static-datapath tools.
 
+#![forbid(unsafe_code)]
+
 pub mod addr;
 pub mod error;
 pub mod fwd;

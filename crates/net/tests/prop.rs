@@ -68,9 +68,9 @@ proptest! {
     }
 }
 
-/// Random tree topologies: shortest-path routing must deliver every
-/// host-to-host packet (no loops, no blackholes), and killing a node must
-/// never create a loop.
+// Random tree topologies: shortest-path routing must deliver every
+// host-to-host packet (no loops, no blackholes), and killing a node must
+// never create a loop.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

@@ -12,6 +12,8 @@
 //! Each generator is deterministic given its parameters and RNG seed, so
 //! benchmark runs are reproducible.
 
+#![forbid(unsafe_code)]
+
 pub mod data_isolation;
 pub mod datacenter;
 pub mod enterprise;

@@ -18,6 +18,8 @@
 //! received packet. Per-middlebox FIFO ordering is enforced, matching the
 //! ordering constraint the scheduling oracle must respect.
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use vmn_mbox::exec::{self, Chooser, MboxState, SeqChooser};

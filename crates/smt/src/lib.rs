@@ -41,6 +41,8 @@
 //! assert_eq!(ctx.check(), SatResult::Unsat);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod blast;
 pub mod euf;
 pub mod model;
@@ -51,7 +53,7 @@ pub mod sorts;
 pub mod term;
 
 pub use model::{Model, Value};
-pub use sat::{Lit, SatResult as CoreSatResult, SolverStats, Var};
+pub use sat::{Lit, ProofLog, SatResult as CoreSatResult, SolverStats, Var};
 pub use solver::{Context, SatResult};
 pub use sorts::{Sort, SortId, SortStore};
 pub use term::{FuncDecl, FuncId, Term, TermId, TermPool};

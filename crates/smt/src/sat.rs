@@ -25,6 +25,7 @@
 //! trait.
 
 use std::fmt;
+use vmn_check::{CheckRecord, ClauseId, Outcome, ProofStep, SessionProof};
 
 /// A propositional variable, numbered from zero.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -176,6 +177,11 @@ struct ClauseMeta {
     /// it (transitively) depends on. Tags ≥ 63 share the top bit, which
     /// only ever causes sound over-forgetting of redundant clauses.
     cone: u64,
+    /// Proof-log clause id (0 when proof logging is off). Unlike
+    /// [`ClauseRef`], which [`Solver::compact_arena`] renumbers, the proof
+    /// id is stable for the lifetime of the session — deletions and hints
+    /// in the log refer to it.
+    pid: ClauseId,
 }
 
 #[derive(Clone, Copy)]
@@ -276,16 +282,13 @@ impl VarOrder {
 }
 
 /// Luby restart sequence: 1 1 2 1 1 2 4 ...
-fn luby(i: u64) -> u64 {
+fn luby(mut i: u64) -> u64 {
     let mut size: u64 = 1;
     let mut seq: u32 = 0;
     while size < i + 1 {
         seq += 1;
         size = 2 * size + 1;
     }
-    let mut i = i;
-    let mut size = size;
-    let mut seq = seq;
     while size - 1 != i {
         size = (size - 1) >> 1;
         seq -= 1;
@@ -348,6 +351,116 @@ const VAR_DECAY: f64 = 0.95;
 const CLAUSE_DECAY: f64 = 0.999;
 const RESCALE_LIMIT: f64 = 1e100;
 
+/// DRAT/LRAT-style proof log of one solver session (see [`vmn_check`] for
+/// the step vocabulary and the trusted checker that consumes it).
+///
+/// The log is **append-only** and records only base-level (decision level
+/// zero) facts: original clauses as they are handed to [`Solver::add_clause`]
+/// (inputs), theory conflict explanations asserted as axioms, learnt clauses
+/// with their antecedent hints, and clause deletions from learnt-database
+/// reduction or cone forgetting. Nothing trail- or search-state-dependent is
+/// ever logged, so rewinding the solver to the base level
+/// ([`Solver::backtrack_to_base`], theory unsealing, search-state scrubs)
+/// needs no log truncation — the log is already a base-level object, and a
+/// pooled session's shared log stays valid for every check ever taken
+/// against a prefix of it.
+///
+/// Each [`Solver::solve_with_assumptions`] call additionally records a
+/// check: the assumption literals with the claimed outcome, pinned to the
+/// current log prefix. For UNSAT outcomes this is the ISSUE's "final
+/// derivation of the negated-assumptions clause": the checker establishes
+/// `{¬a | a ∈ assumptions}` by reverse unit propagation over the prefix.
+pub struct ProofLog {
+    steps: Vec<ProofStep>,
+    checks: Vec<CheckRecord>,
+    next_id: ClauseId,
+}
+
+impl ProofLog {
+    fn new() -> ProofLog {
+        ProofLog { steps: Vec::new(), checks: Vec::new(), next_id: 1 }
+    }
+
+    /// DIMACS rendering of a literal: `var + 1`, negative when negated.
+    fn plit(l: Lit) -> i32 {
+        let v = l.var().0 as i32 + 1;
+        if l.is_neg() {
+            -v
+        } else {
+            v
+        }
+    }
+
+    fn plits(lits: &[Lit]) -> Vec<i32> {
+        lits.iter().map(|&l| Self::plit(l)).collect()
+    }
+
+    fn log_input(&mut self, lits: &[Lit]) -> ClauseId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.steps.push(ProofStep::Input { id, lits: Self::plits(lits) });
+        id
+    }
+
+    fn log_axiom(&mut self, lits: &[Lit]) -> ClauseId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.steps.push(ProofStep::Axiom { id, lits: Self::plits(lits) });
+        id
+    }
+
+    fn log_derived(&mut self, lits: &[Lit], hints: Vec<ClauseId>) -> ClauseId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.steps.push(ProofStep::Derived { id, lits: Self::plits(lits), hints });
+        id
+    }
+
+    fn log_delete(&mut self, id: ClauseId) {
+        debug_assert_ne!(id, 0, "deleting a clause that was never logged");
+        if id != 0 {
+            self.steps.push(ProofStep::Delete { id });
+        }
+    }
+
+    fn record_unsat(&mut self, assumptions: &[Lit]) {
+        self.checks.push(CheckRecord {
+            steps_upto: self.steps.len(),
+            assumptions: Self::plits(assumptions),
+            outcome: Outcome::Unsat,
+        });
+    }
+
+    fn record_sat(&mut self, assumptions: &[Lit], model: &[bool]) {
+        self.checks.push(CheckRecord {
+            steps_upto: self.steps.len(),
+            assumptions: Self::plits(assumptions),
+            outcome: Outcome::Sat { model: model.to_vec() },
+        });
+    }
+
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    pub fn num_checks(&self) -> usize {
+        self.checks.len()
+    }
+
+    /// Exports the proof as a checkable session: the full shared step log,
+    /// with the check records from `checks_from` onwards. Callers sharing
+    /// one session across sub-queries (the VMN session pool) snapshot the
+    /// check watermark when they enter the session and export only their
+    /// own checks — each still validated against its own log prefix.
+    pub fn session_slice(&self, num_vars: u32, checks_from: usize) -> SessionProof {
+        SessionProof {
+            num_vars,
+            steps: self.steps.clone(),
+            checks: self.checks.get(checks_from..).unwrap_or(&[]).to_vec(),
+        }
+    }
+}
+
 /// The CDCL solver.
 ///
 /// Clauses are added with [`Solver::add_clause`]; variables are created
@@ -394,6 +507,13 @@ pub struct Solver {
     /// Snapshot of the last satisfying assignment (one bool per var);
     /// survives the backtrack-to-zero between incremental calls.
     model: Vec<bool>,
+    /// Optional DRAT-style proof log (off by default; see
+    /// [`Solver::enable_proof`]).
+    proof: Option<ProofLog>,
+    /// Scratch: proof-log antecedent ids of the conflict clause and every
+    /// reason resolved by the in-flight `analyze` call (parallel to
+    /// `analyze_cone`; only maintained while proof logging is on).
+    analyze_hints: Vec<ClauseId>,
 }
 
 impl Default for Solver {
@@ -429,7 +549,37 @@ impl Solver {
             analyze_cone: 0,
             dead_lits: 0,
             model: Vec::new(),
+            proof: None,
+            analyze_hints: Vec::new(),
         }
+    }
+
+    /// Turns on proof logging for this solver's lifetime. Must be called
+    /// before any clause is added, so the log is a self-contained account
+    /// of the whole session; idempotent. Off by default — the only cost
+    /// when disabled is a branch per logging site.
+    pub fn enable_proof(&mut self) {
+        if self.proof.is_some() {
+            return;
+        }
+        assert!(
+            self.clauses.is_empty() && self.trail.is_empty(),
+            "proof logging must be enabled on a pristine solver"
+        );
+        self.proof = Some(ProofLog::new());
+    }
+
+    /// The proof log, if [`Solver::enable_proof`] was called.
+    pub fn proof(&self) -> Option<&ProofLog> {
+        self.proof.as_ref()
+    }
+
+    /// Exports the session proof for the trusted checker: the full shared
+    /// step log plus the check records from `checks_from` onwards (pass 0
+    /// for all of them). `None` unless proof logging is enabled.
+    pub fn proof_session(&self, checks_from: usize) -> Option<SessionProof> {
+        let nv = self.num_vars() as u32;
+        self.proof.as_ref().map(|p| p.session_slice(nv, checks_from))
     }
 
     /// Bit for cone tag `tag` (tags ≥ 63 saturate into the shared top
@@ -526,6 +676,14 @@ impl Solver {
         if !self.ok {
             return false;
         }
+        // Log the clause as handed to us, before normalisation: the checker
+        // must see the self-contained input CNF, and normalisation (dropping
+        // root-false literals, discarding root-satisfied clauses) is only
+        // valid relative to root facts the checker re-derives itself.
+        let pid = match &mut self.proof {
+            Some(p) => p.log_input(lits),
+            None => 0,
+        };
         // Normalise: drop duplicate and false literals, detect tautologies.
         let mut cl: Vec<Lit> = Vec::with_capacity(lits.len());
         let mut sorted = lits.to_vec();
@@ -557,7 +715,8 @@ impl Solver {
                 self.ok
             }
             _ => {
-                self.attach_clause(&cl, false);
+                let cref = self.attach_clause(&cl, false);
+                self.clauses[cref.0 as usize].pid = pid;
                 true
             }
         }
@@ -577,6 +736,8 @@ impl Solver {
             // Learnt clauses inherit the union of their derivation's cones
             // (accumulated by `analyze`); originals take the open cone.
             cone: if learnt { self.analyze_cone } else { self.open_cone },
+            // Callers patch in the proof id after attaching.
+            pid: 0,
         });
         self.watches[(!lits[0]).index()].push(Watch { cref, blocker: lits[1] });
         self.watches[(!lits[1]).index()].push(Watch { cref, blocker: lits[0] });
@@ -745,6 +906,9 @@ impl Solver {
             let cref = self.reason[v.index()].expect("non-decision must have a reason");
             self.bump_clause(cref);
             self.analyze_cone |= self.clauses[cref.0 as usize].cone;
+            if self.proof.is_some() {
+                self.analyze_hints.push(self.clauses[cref.0 as usize].pid);
+            }
             // Skip the asserting literal itself (position 0 by invariant).
             reason_lits.clear();
             let m = &self.clauses[cref.0 as usize];
@@ -764,6 +928,9 @@ impl Solver {
             if redundant {
                 let cref = self.reason[l.var().index()].expect("redundant literals have a reason");
                 self.analyze_cone |= self.clauses[cref.0 as usize].cone;
+                if self.proof.is_some() {
+                    self.analyze_hints.push(self.clauses[cref.0 as usize].pid);
+                }
             }
             keep.push(!redundant);
         }
@@ -866,6 +1033,10 @@ impl Solver {
                 self.clauses[r.0 as usize].deleted = true;
                 self.dead_lits += self.clauses[r.0 as usize].len as usize;
                 self.stats.deleted_clauses += 1;
+                let pid = self.clauses[r.0 as usize].pid;
+                if let Some(p) = &mut self.proof {
+                    p.log_delete(pid);
+                }
             }
         }
         refs.retain(|r| !self.clauses[r.0 as usize].deleted);
@@ -923,6 +1094,10 @@ impl Solver {
             self.clauses[r.0 as usize].deleted = true;
             self.dead_lits += l;
             self.stats.deleted_clauses += 1;
+            let pid = self.clauses[r.0 as usize].pid;
+            if let Some(p) = &mut self.proof {
+                p.log_delete(pid);
+            }
             false
         });
         self.learnt_refs = refs;
@@ -996,6 +1171,9 @@ impl Solver {
                 deleted: false,
                 activity: m.activity,
                 cone: m.cone,
+                // Proof ids are stable across compaction: the log (and its
+                // hints and deletions) never see the renumbered ClauseRefs.
+                pid: m.pid,
             });
         }
         self.stats.reclaimed_lits += (self.arena.len() - arena.len()) as u64;
@@ -1008,12 +1186,10 @@ impl Solver {
                 n != u32::MAX
             });
         }
-        for r in &mut self.reason {
-            if let Some(cref) = r {
-                let n = remap[cref.0 as usize];
-                debug_assert_ne!(n, u32::MAX, "a reason clause is locked and never deleted");
-                *cref = ClauseRef(n);
-            }
+        for cref in self.reason.iter_mut().flatten() {
+            let n = remap[cref.0 as usize];
+            debug_assert_ne!(n, u32::MAX, "a reason clause is locked and never deleted");
+            *cref = ClauseRef(n);
         }
         for r in &mut self.learnt_refs {
             let n = remap[r.0 as usize];
@@ -1065,6 +1241,11 @@ impl Solver {
         theory: &mut dyn Theory,
     ) -> SatResult {
         if !self.ok {
+            // The log already derives a root contradiction; the record is
+            // checkable without any further derivation.
+            if let Some(p) = &mut self.proof {
+                p.record_unsat(assumptions);
+            }
             return SatResult::Unsat;
         }
         debug_assert!(assumptions.iter().all(|l| l.var().index() < self.num_vars()));
@@ -1082,6 +1263,11 @@ impl Solver {
                     // Seed the learnt clause's cone with the conflicting
                     // clause's; `analyze` unions in every resolved reason.
                     self.analyze_cone = self.clauses[cref.0 as usize].cone;
+                    if self.proof.is_some() {
+                        let pid = self.clauses[cref.0 as usize].pid;
+                        self.analyze_hints.clear();
+                        self.analyze_hints.push(pid);
+                    }
                     break 'prop Some(lits);
                 }
                 match self.theory_sync(theory) {
@@ -1089,7 +1275,18 @@ impl Solver {
                         // Theory conflicts carry no clause provenance; the
                         // resolved reasons still contribute their cones.
                         self.analyze_cone = 0;
-                        break 'prop Some(c.lits.iter().map(|&l| !l).collect());
+                        let cl: Vec<Lit> = c.lits.iter().map(|&l| !l).collect();
+                        // The explanation clause is theory-valid but not in
+                        // the clause database: log it as an asserted axiom
+                        // so the checker's CNF stays self-contained, and
+                        // seed the hints with it — it is the conflict
+                        // clause the next `analyze` starts from.
+                        if let Some(p) = &mut self.proof {
+                            let id = p.log_axiom(&cl);
+                            self.analyze_hints.clear();
+                            self.analyze_hints.push(id);
+                        }
+                        break 'prop Some(cl);
                     }
                     None => {
                         if self.qhead == self.trail.len() {
@@ -1113,20 +1310,37 @@ impl Solver {
                     }
                     if self.decision_level() == 0 {
                         self.ok = false;
+                        // The checker reproduces this conflict by root unit
+                        // propagation of the logged clauses alone.
+                        if let Some(p) = &mut self.proof {
+                            p.record_unsat(assumptions);
+                        }
                         return SatResult::Unsat;
                     }
                     let (learnt, bt_level) = self.analyze(&cl);
                     self.cancel_until(bt_level, theory);
+                    let pid = match &mut self.proof {
+                        Some(p) => {
+                            let hints = std::mem::take(&mut self.analyze_hints);
+                            p.log_derived(&learnt, hints)
+                        }
+                        None => 0,
+                    };
                     if learnt.len() == 1 {
+                        // Unit learnt clauses never join the clause DB (the
+                        // enqueue is reason-less), but they are logged like
+                        // any other derivation: the checker root-propagates
+                        // them, which is exactly what this enqueue does.
                         self.unchecked_enqueue(learnt[0], None);
                     } else {
                         let cref = self.attach_clause(&learnt, true);
+                        self.clauses[cref.0 as usize].pid = pid;
                         self.bump_clause(cref);
                         self.unchecked_enqueue(learnt[0], Some(cref));
                     }
                     self.var_inc /= VAR_DECAY;
                     self.clause_inc /= CLAUSE_DECAY;
-                    if self.stats.conflicts % 1000 == 0 {
+                    if self.stats.conflicts.is_multiple_of(1000) {
                         self.max_learnts *= 1.1;
                     }
                     conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
@@ -1153,8 +1367,15 @@ impl Solver {
                             LBool::True => self.trail_lim.push(self.trail.len()),
                             // Contradicted by the formula (plus earlier
                             // assumptions): UNSAT under assumptions, but the
-                            // solver itself remains consistent.
+                            // solver itself remains consistent. The checker
+                            // reproduces this by propagating the full
+                            // assumption set — unit propagation is monotone
+                            // in the assignment, so the conflict the solver
+                            // saw under a prefix is still reached.
                             LBool::False => {
+                                if let Some(p) = &mut self.proof {
+                                    p.record_unsat(assumptions);
+                                }
                                 self.backtrack_to_base(theory);
                                 return SatResult::Unsat;
                             }
@@ -1178,12 +1399,22 @@ impl Solver {
                                         self.model.clear();
                                         self.model
                                             .extend(self.assigns.iter().map(|&a| a == LBool::True));
+                                        if let Some(p) = &mut self.proof {
+                                            p.record_sat(assumptions, &self.model);
+                                        }
                                         return SatResult::Sat;
                                     }
                                     Err(c) => {
                                         self.stats.conflicts += 1;
                                         self.analyze_cone = 0;
                                         let cl: Vec<Lit> = c.lits.iter().map(|&l| !l).collect();
+                                        // Theory-valid explanation: asserted
+                                        // as an axiom, like in the main loop.
+                                        if let Some(p) = &mut self.proof {
+                                            let id = p.log_axiom(&cl);
+                                            self.analyze_hints.clear();
+                                            self.analyze_hints.push(id);
+                                        }
                                         let conflict_level = cl
                                             .iter()
                                             .map(|l| self.level[l.var().index()])
@@ -1194,14 +1425,25 @@ impl Solver {
                                         }
                                         if self.decision_level() == 0 {
                                             self.ok = false;
+                                            if let Some(p) = &mut self.proof {
+                                                p.record_unsat(assumptions);
+                                            }
                                             return SatResult::Unsat;
                                         }
                                         let (learnt, bt_level) = self.analyze(&cl);
                                         self.cancel_until(bt_level, theory);
+                                        let pid = match &mut self.proof {
+                                            Some(p) => {
+                                                let hints = std::mem::take(&mut self.analyze_hints);
+                                                p.log_derived(&learnt, hints)
+                                            }
+                                            None => 0,
+                                        };
                                         if learnt.len() == 1 {
                                             self.unchecked_enqueue(learnt[0], None);
                                         } else {
                                             let cref = self.attach_clause(&learnt, true);
+                                            self.clauses[cref.0 as usize].pid = pid;
                                             self.unchecked_enqueue(learnt[0], Some(cref));
                                         }
                                     }

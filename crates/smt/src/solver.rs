@@ -118,6 +118,33 @@ impl Context {
         self.stats
     }
 
+    /// Turns on DRAT-style proof logging in the CDCL core (see
+    /// [`crate::sat::ProofLog`]). Must be called before the first check
+    /// (the core must not have lowered any clause yet); idempotent. Every
+    /// subsequent [`Context::check`]/[`Context::check_assuming`] records a
+    /// certificate check against the session's shared proof log.
+    pub fn enable_proofs(&mut self) {
+        self.sat.enable_proof();
+    }
+
+    /// Whether proof logging is on.
+    pub fn proofs_enabled(&self) -> bool {
+        self.sat.proof().is_some()
+    }
+
+    /// Number of check records accumulated so far — the watermark callers
+    /// snapshot before re-entering a pooled session, so
+    /// [`Context::proof_session`] can export only their own checks.
+    pub fn proof_checks(&self) -> usize {
+        self.sat.proof().map_or(0, |p| p.num_checks())
+    }
+
+    /// Exports this session's proof for the trusted checker: the full
+    /// shared step log, with check records from `checks_from` onwards.
+    pub fn proof_session(&self, checks_from: usize) -> Option<vmn_check::SessionProof> {
+        self.sat.proof_session(checks_from)
+    }
+
     /// Work done by the most recent [`Context::check`] /
     /// [`Context::check_assuming`] alone (a delta over the cumulative
     /// [`Context::stats`]), so callers sharing one long-lived context

@@ -27,7 +27,7 @@ impl Sort {
     /// Bit-vector sort of width `w`. Panics if `w` is zero or above 64;
     /// VMN header fields all fit in 64 bits.
     pub fn bitvec(w: u32) -> Sort {
-        assert!(w >= 1 && w <= 64, "bit-vector width must be in 1..=64, got {w}");
+        assert!((1..=64).contains(&w), "bit-vector width must be in 1..=64, got {w}");
         Sort::BitVec(w)
     }
 

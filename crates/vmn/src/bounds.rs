@@ -129,7 +129,7 @@ mod tests {
         let flow = Invariant::FlowIsolation { src: h1, dst: h2 };
         let b1 = trace_bound(&net, &none, &simple, &nodes, DEFAULT_SLACK);
         let b2 = trace_bound(&net, &none, &flow, &nodes, DEFAULT_SLACK);
-        assert_eq!(b1, 1 * 2 + DEFAULT_SLACK);
+        assert_eq!(b1, 2 + DEFAULT_SLACK);
         assert_eq!(b2, 2 * 2 + DEFAULT_SLACK);
         assert!(b2 > b1);
     }

@@ -269,7 +269,7 @@ pub struct Encoded {
 
 impl Encoded {
     fn new(net: &Network, nodes: &[NodeId], k: usize) -> Result<Encoded, EncodeError> {
-        assert!(k >= 1 && k <= 62, "trace bound {k} out of supported range");
+        assert!((1..=62).contains(&k), "trace bound {k} out of supported range");
         let mut terminals: Vec<NodeId> =
             nodes.iter().copied().filter(|&n| net.topo.node(n).kind.is_terminal()).collect();
         terminals.sort();

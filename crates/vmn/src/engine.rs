@@ -10,6 +10,7 @@ use crate::trace::Trace;
 use std::collections::HashMap;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+use vmn_check::CertificateBundle;
 use vmn_net::{FailureScenario, NetError, NodeId};
 use vmn_smt::{SatResult, SolverStats};
 
@@ -59,6 +60,15 @@ pub struct Report {
     /// per-check stats deltas off the (possibly shared, cross-invariant)
     /// solver session. Zero for inherited reports.
     pub solver: SolverStats,
+    /// Machine-checkable certificate of the verdict, present when
+    /// [`VerifyOptions::emit_proofs`] is on: one proof session per solver
+    /// session this invariant's sweep touched, each holding the session's
+    /// full clause derivation log plus *this invariant's* check records
+    /// (UNSAT derivations for refuted scenarios, models for violations).
+    /// Validated by the independent `vmn_check` crate — see
+    /// [`vmn_check::check_bundle`]. `None` when proofs are off and for
+    /// inherited reports (the representative carries the certificate).
+    pub certificate: Option<CertificateBundle>,
 }
 
 /// Engine configuration.
@@ -95,6 +105,12 @@ pub struct VerifyOptions {
     /// distinct slice (identical slices still share). Only meaningful
     /// when `incremental` is on. Values are clamped to `[0, 1]`.
     pub cluster_threshold: f64,
+    /// Record a DRAT-style proof log on every solver session and attach a
+    /// certificate to each report ([`Report::certificate`]), validatable
+    /// by the independent `vmn_check` crate (`vmn-cli check`). Off by
+    /// default: logging costs memory proportional to the clauses learnt,
+    /// and the verdict paths are identical either way.
+    pub emit_proofs: bool,
 }
 
 /// Default Jaccard threshold for scenario clustering: slices within one
@@ -113,6 +129,7 @@ impl Default for VerifyOptions {
             incremental: true,
             reuse_sessions: true,
             cluster_threshold: DEFAULT_CLUSTER_THRESHOLD,
+            emit_proofs: false,
         }
     }
 }
@@ -354,10 +371,20 @@ impl<'n> Verifier<'n> {
                 if enc.ctx.conflicts_since_search_reset() >= SCRUB_SEARCH_CONFLICTS {
                     enc.ctx.reset_search_state();
                 }
+                // The pool only holds sessions this verifier built, so a
+                // pooled session's proof state always matches the options.
+                debug_assert_eq!(enc.ctx.proofs_enabled(), self.options.emit_proofs);
                 return Ok((enc, true));
             }
         }
-        Ok((encoder::encode_skeleton(self.net, nodes, k)?, false))
+        let mut enc = encoder::encode_skeleton(self.net, nodes, k)?;
+        if self.options.emit_proofs {
+            // Legal here (and only here): clauses reach the SAT core
+            // during lazy lowering at check time, so a freshly encoded
+            // skeleton still has a pristine solver.
+            enc.ctx.enable_proofs();
+        }
+        Ok((enc, false))
     }
 
     /// Feeds the cost model and returns the session to the pool for the
@@ -419,16 +446,24 @@ impl<'n> Verifier<'n> {
     pub fn verify(&self, inv: &Invariant) -> Result<Report, VerifyError> {
         let start = Instant::now();
         let scenarios = self.net.all_scenarios();
-        let report = |verdict, scenarios_checked, encoded_nodes, steps, solver| Report {
-            invariant: inv.clone(),
-            verdict,
-            elapsed: start.elapsed(),
-            scenarios_checked,
-            encoded_nodes,
-            steps,
-            inherited: false,
-            solver,
-        };
+        let emit_proofs = self.options.emit_proofs;
+        let report =
+            |verdict, scenarios_checked, encoded_nodes, steps, solver, certificate| Report {
+                invariant: inv.clone(),
+                verdict,
+                elapsed: start.elapsed(),
+                scenarios_checked,
+                encoded_nodes,
+                steps,
+                inherited: false,
+                solver,
+                certificate,
+            };
+        // One proof session per solver session the sweep touches; the
+        // bundle label names the invariant so `vmn-cli check` output is
+        // attributable.
+        let mut cert =
+            emit_proofs.then(|| CertificateBundle { label: inv.to_string(), sessions: Vec::new() });
 
         if !self.options.incremental {
             // From-scratch baseline: fresh slice, encoder and solver per
@@ -443,8 +478,14 @@ impl<'n> Verifier<'n> {
                 encoded_nodes = encoded_nodes.max(nodes.len());
                 steps_used = steps_used.max(k);
                 let mut enc = encoder::encode(self.net, &scenario, &nodes, inv, k)?;
+                if emit_proofs {
+                    enc.ctx.enable_proofs();
+                }
                 let sat = enc.ctx.check();
                 solver = solver + enc.ctx.stats();
+                if let (Some(bundle), Some(session)) = (&mut cert, enc.ctx.proof_session(0)) {
+                    bundle.sessions.push(session);
+                }
                 if sat == SatResult::Sat {
                     let trace = Trace::extract(&mut enc);
                     let verdict = Verdict::Violated { trace, scenario };
@@ -454,6 +495,7 @@ impl<'n> Verifier<'n> {
                         encoded_nodes,
                         steps_used,
                         solver,
+                        cert,
                     ));
                 }
             }
@@ -463,6 +505,7 @@ impl<'n> Verifier<'n> {
                 encoded_nodes,
                 steps_used,
                 solver,
+                cert,
             ));
         }
 
@@ -502,7 +545,11 @@ impl<'n> Verifier<'n> {
             struct ClusterState {
                 nodes: Vec<NodeId>,
                 k: usize,
-                session: Option<(Encoded, bool, SolverStats)>,
+                /// Session, pool-hit flag, stats snapshot at checkout, and
+                /// the proof-check watermark at checkout: a pooled session's
+                /// log already holds other invariants' check records, so
+                /// this invariant's certificate slices from the watermark.
+                session: Option<(Encoded, bool, SolverStats, usize)>,
             }
             let mut states: Vec<ClusterState> = clusters
                 .iter()
@@ -538,7 +585,8 @@ impl<'n> Verifier<'n> {
                     match self.checkout_session(&state.nodes, state.k) {
                         Ok((enc, warmed)) => {
                             let before = enc.ctx.stats();
-                            state.session = Some((enc, warmed, before));
+                            let checks_from = enc.ctx.proof_checks();
+                            state.session = Some((enc, warmed, before, checks_from));
                         }
                         Err(e) => {
                             outcome = Err(e);
@@ -573,11 +621,16 @@ impl<'n> Verifier<'n> {
             let mut encoded_nodes = 0;
             let mut steps = 1;
             for (c, state) in states.into_iter().enumerate() {
-                let Some((enc, warmed, before)) = state.session else { continue };
+                let Some((enc, warmed, before, checks_from)) = state.session else { continue };
                 encoded_nodes = encoded_nodes.max(state.nodes.len());
                 steps = steps.max(state.k);
                 let delta = enc.ctx.stats().delta_since(&before);
                 solver = solver + delta;
+                if let (Some(bundle), Some(session)) =
+                    (&mut cert, enc.ctx.proof_session(checks_from))
+                {
+                    bundle.sessions.push(session);
+                }
                 if errored_cluster != Some(c) {
                     self.checkin_session((state.nodes, state.k), enc, warmed, &delta);
                 }
@@ -587,7 +640,14 @@ impl<'n> Verifier<'n> {
                 Err(e) => return Err(e),
                 Ok(Some((trace, scenario))) => {
                     let verdict = Verdict::Violated { trace, scenario };
-                    return Ok(report(verdict, scenarios_checked, encoded_nodes, steps, solver));
+                    return Ok(report(
+                        verdict,
+                        scenarios_checked,
+                        encoded_nodes,
+                        steps,
+                        solver,
+                        cert,
+                    ));
                 }
                 Ok(None) if plan_error.is_none() => {
                     return Ok(report(
@@ -596,6 +656,7 @@ impl<'n> Verifier<'n> {
                         encoded_nodes,
                         steps,
                         solver,
+                        cert,
                     ));
                 }
                 Ok(None) => {}
@@ -661,6 +722,10 @@ impl<'n> Verifier<'n> {
                     // exactly once.
                     r.elapsed = Duration::ZERO;
                     r.solver = SolverStats::default();
+                    // The certificate proves the *representative's* run;
+                    // an inherited verdict has no solver run of its own to
+                    // certify (symmetry is the trusted step here).
+                    r.certificate = None;
                 }
                 out[inv_idx] = Some(r);
             }

@@ -55,6 +55,8 @@
 //! assert!(report.verdict.holds());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bounds;
 pub mod encoder;
 pub mod engine;
@@ -69,3 +71,7 @@ pub use invariant::Invariant;
 pub use network::Network;
 pub use policy::PolicyClasses;
 pub use trace::{StepKind, Trace, TraceStep};
+/// The trusted certificate checker (re-exported): validates the
+/// [`Report::certificate`] bundles produced under
+/// [`VerifyOptions::emit_proofs`] without touching any solver code.
+pub use vmn_check as check;

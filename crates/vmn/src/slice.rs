@@ -177,7 +177,7 @@ pub fn cluster_slices(slices: &[Vec<NodeId>], threshold: f64) -> Vec<Vec<usize>>
                 let sim = sims[i][j];
                 // Strictly-greater keeps ties on the earliest pair, making
                 // the grouping deterministic across platforms.
-                if best.map_or(true, |(.., b)| sim > b) {
+                if best.is_none_or(|(.., b)| sim > b) {
                     best = Some((i, j, sim));
                 }
             }

@@ -12,6 +12,8 @@
 //! wall-clock time per iteration as plain text. Benches must be declared
 //! with `harness = false`, exactly as with real criterion.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

@@ -17,6 +17,8 @@
 //! * Integer `any::<T>()` biases ~1/8 of samples toward the boundary
 //!   values `0`, `1`, `MAX` to keep edge-case coverage comparable.
 
+#![forbid(unsafe_code)]
+
 pub mod test_runner {
     /// Deterministic generator used by all strategies (SplitMix64).
     #[derive(Clone, Debug)]
@@ -507,7 +509,7 @@ mod tests {
 
         #[test]
         fn assume_skips(n in any::<u32>()) {
-            prop_assume!(n % 2 == 0);
+            prop_assume!(n.is_multiple_of(2));
             prop_assert_eq!(n % 2, 0);
         }
     }

@@ -7,6 +7,8 @@
 //! xoshiro256** seeded through SplitMix64 — deterministic for a given
 //! seed, which is all the tests and benches rely on.
 
+#![forbid(unsafe_code)]
+
 /// A source of random 64-bit words.
 pub trait RngCore {
     fn next_u64(&mut self) -> u64;

@@ -1,0 +1,193 @@
+//! End-to-end certificate tests: with `VerifyOptions::emit_proofs` every
+//! report carries a [`vmn::check::CertificateBundle`] that the trusted
+//! checker accepts, whose SAT/UNSAT check counts agree with the verdict,
+//! and that round-trips through the on-disk text format. Tampering with
+//! any part of a stored bundle must be detected.
+
+use vmn::check::{check_bundle, parse_bundles, write_bundles, Outcome, ProofStep};
+use vmn::{Invariant, Network, Verdict, Verifier, VerifyOptions};
+use vmn_mbox::models;
+use vmn_net::{FailureScenario, Prefix, RoutingConfig, Rule, Topology};
+
+/// The quickstart network (outside --- sw --- inside through a stateful
+/// firewall), with one middlebox-failure scenario so sweeps have more
+/// than one scenario to certify.
+fn firewalled_network() -> (Network, vmn_net::NodeId, vmn_net::NodeId) {
+    let mut topo = Topology::new();
+    let outside = topo.add_host("outside", "8.8.8.8".parse().unwrap());
+    let inside = topo.add_host("inside", "10.0.0.5".parse().unwrap());
+    let sw = topo.add_switch("sw");
+    let fw = topo.add_middlebox("fw", "stateful-firewall", vec![]);
+    for n in [outside, inside, fw] {
+        topo.add_link(n, sw);
+    }
+    let mut rc = RoutingConfig::new();
+    rc.host_routes(&topo);
+    let mut tables = rc.build(&topo, &FailureScenario::none());
+    let all: Prefix = "0.0.0.0/0".parse().unwrap();
+    tables.add_rule(sw, Rule::from_neighbor(all, outside, fw).with_priority(10));
+    tables.add_rule(sw, Rule::from_neighbor(all, inside, fw).with_priority(10));
+    let mut net = Network::new(topo, tables);
+    net.set_model(
+        fw,
+        models::learning_firewall("stateful-firewall", vec![("10.0.0.0/8".parse().unwrap(), all)]),
+    );
+    (net, outside, inside)
+}
+
+/// Validates a report's certificate and asserts its check counts are
+/// consistent with the verdict: a holding invariant certifies only UNSAT
+/// checks, a violated one at least one SAT model.
+fn validate_report(report: &vmn::Report, context: &str) {
+    let bundle = report
+        .certificate
+        .as_ref()
+        .unwrap_or_else(|| panic!("{context}: emit_proofs must attach a certificate"));
+    let summary = check_bundle(bundle)
+        .unwrap_or_else(|e| panic!("{context}: checker rejected the certificate: {e}"));
+    assert!(summary.checks > 0, "{context}: certificate must cover at least one check");
+    match &report.verdict {
+        Verdict::Holds => {
+            assert_eq!(summary.sat_checks, 0, "{context}: a holding verdict must have no models")
+        }
+        Verdict::Violated { .. } => assert!(
+            summary.sat_checks >= 1,
+            "{context}: a violation must certify a satisfying model"
+        ),
+    }
+}
+
+#[test]
+fn certificates_cover_all_engine_configs() {
+    let (net, outside, inside) = firewalled_network();
+    let invariants = [
+        Invariant::FlowIsolation { src: outside, dst: inside }, // holds
+        Invariant::NodeIsolation { src: outside, dst: inside }, // violated
+    ];
+    for (incremental, reuse) in [(false, false), (true, false), (true, true)] {
+        let opts = VerifyOptions {
+            emit_proofs: true,
+            incremental,
+            reuse_sessions: reuse,
+            ..VerifyOptions::default()
+        };
+        let v = Verifier::new(&net, opts).unwrap();
+        for inv in &invariants {
+            let report = v.verify(inv).unwrap();
+            validate_report(&report, &format!("inc={incremental} reuse={reuse} {inv}"));
+        }
+    }
+}
+
+#[test]
+fn proofs_off_by_default() {
+    let (net, outside, inside) = firewalled_network();
+    let v = Verifier::new(&net, VerifyOptions::default()).unwrap();
+    let report = v.verify(&Invariant::FlowIsolation { src: outside, dst: inside }).unwrap();
+    assert!(report.certificate.is_none(), "no certificate unless emit_proofs is set");
+}
+
+#[test]
+fn pooled_sessions_slice_certificates_per_invariant() {
+    // Two invariants sharing one pooled session: the second certificate
+    // is cut from the session's *shared* log (its steps include the first
+    // invariant's derivations) but carries only its own check records —
+    // and still validates standalone.
+    let (net, outside, inside) = firewalled_network();
+    let opts =
+        VerifyOptions { emit_proofs: true, steps_override: Some(4), ..VerifyOptions::default() };
+    let v = Verifier::new(&net, opts).unwrap();
+    let r1 = v.verify(&Invariant::NodeIsolation { src: outside, dst: inside }).unwrap();
+    assert_eq!(v.pooled_sessions(), 1, "the proof-logging session must pool normally");
+    let r2 = v.verify(&Invariant::DataIsolation { origin: outside, dst: inside }).unwrap();
+    assert_eq!(v.pooled_sessions(), 1, "the second invariant re-entered the session");
+    validate_report(&r1, "first invariant on the session");
+    validate_report(&r2, "second invariant on the shared session");
+    let (c1, c2) = (r1.certificate.unwrap(), r2.certificate.unwrap());
+    let checks = |b: &vmn::check::CertificateBundle| {
+        b.sessions.iter().map(|s| s.checks.len()).sum::<usize>()
+    };
+    assert!(checks(&c1) > 0 && checks(&c2) > 0);
+    if let (Some(s1), Some(s2)) = (c1.sessions.first(), c2.sessions.first()) {
+        assert!(s2.steps.len() >= s1.steps.len(), "the shared log only grows across invariants");
+    }
+}
+
+#[test]
+fn inherited_reports_carry_no_certificate() {
+    let (net, outside, inside) = firewalled_network();
+    let opts = VerifyOptions { emit_proofs: true, ..VerifyOptions::default() };
+    let v = Verifier::new(&net, opts).unwrap();
+    let inv = Invariant::FlowIsolation { src: outside, dst: inside };
+    let reports = v.verify_all(&[inv.clone(), inv], 1).unwrap();
+    assert!(reports[0].certificate.is_some(), "the representative certifies its run");
+    assert!(reports[1].inherited);
+    assert!(reports[1].certificate.is_none(), "inherited verdicts have no run to certify");
+}
+
+#[test]
+fn stored_bundles_roundtrip_and_tampering_is_detected() {
+    let (net, outside, inside) = firewalled_network();
+    let opts = VerifyOptions { emit_proofs: true, ..VerifyOptions::default() };
+    let v = Verifier::new(&net, opts).unwrap();
+    let hold = v.verify(&Invariant::FlowIsolation { src: outside, dst: inside }).unwrap();
+    let broken = v.verify(&Invariant::NodeIsolation { src: outside, dst: inside }).unwrap();
+    let bundles = vec![hold.certificate.unwrap(), broken.certificate.unwrap()];
+
+    // Round-trip through the on-disk format (what `vmn-cli check` reads).
+    let text = write_bundles(&bundles);
+    let parsed = parse_bundles(&text).expect("engine-written bundles parse");
+    assert_eq!(parsed.len(), 2);
+    for (b, orig) in parsed.iter().zip(&bundles) {
+        assert_eq!(b.label, orig.label);
+        check_bundle(b).expect("round-tripped bundle still checks");
+    }
+
+    // Tamper 1: flip a literal inside a derived clause of the UNSAT
+    // bundle. Either RUP fails on the mutated step or the final
+    // assumption derivation breaks — the checker must reject.
+    let mut tampered = parsed.clone();
+    let mutated =
+        tampered[0].sessions.iter_mut().flat_map(|s| s.steps.iter_mut()).find_map(|st| match st {
+            ProofStep::Derived { lits, .. } if !lits.is_empty() => {
+                lits[0] = -lits[0];
+                Some(())
+            }
+            _ => None,
+        });
+    assert!(mutated.is_some(), "a holding sweep must contain derived clauses");
+    assert!(
+        tampered.iter().any(|b| check_bundle(b).is_err()),
+        "flipping a derived literal must invalidate the bundle"
+    );
+
+    // Tamper 2: claim SAT where the engine proved UNSAT by grafting the
+    // violation bundle's model onto the holding bundle's check record.
+    let model = parsed[1]
+        .sessions
+        .iter()
+        .flat_map(|s| s.checks.iter())
+        .find_map(|c| match &c.outcome {
+            Outcome::Sat { model } => Some(model.clone()),
+            Outcome::Unsat => None,
+        })
+        .expect("the violated invariant certifies a model");
+    let mut forged = parsed[0].clone();
+    let check = forged
+        .sessions
+        .iter_mut()
+        .flat_map(|s| s.checks.iter_mut())
+        .next()
+        .expect("holding bundle has checks");
+    check.outcome = Outcome::Sat { model };
+    assert!(check_bundle(&forged).is_err(), "a forged model must be rejected");
+
+    // Tamper 3: corrupt the text itself (truncate mid-session).
+    let cut = text.len() / 2;
+    let truncated = &text[..cut];
+    let r = parse_bundles(truncated);
+    assert!(
+        r.is_err() || r.is_ok_and(|bs| bs.iter().any(|b| check_bundle(b).is_err())),
+        "a truncated bundle must not parse and check clean"
+    );
+}

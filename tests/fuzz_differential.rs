@@ -15,9 +15,14 @@
 //! pairwise, every violation witness must replay into a real forbidden
 //! reception on the concrete simulator, and re-verifying on the clustered
 //! engine (re-entering its pooled, cost-modelled sessions) must be
-//! stable. Cases are generated from the proptest harness's deterministic
-//! per-test seed, so failures reproduce exactly; set `VMN_FUZZ_CASES` to
-//! bound the case count (CI pins a small subset, the default is 200).
+//! stable. Every engine additionally runs with `emit_proofs` on, and the
+//! independent trusted checker (`vmn_check`) validates each report's
+//! certificate — UNSAT derivations for refuted scenarios, replayable
+//! models for violations — so the proof log is fuzzed against the same
+//! random workloads as the solver itself. Cases are generated from the
+//! proptest harness's deterministic per-test seed, so failures reproduce
+//! exactly; set `VMN_FUZZ_CASES` to bound the case count (CI pins a small
+//! subset, the default is 200).
 
 use proptest::prelude::*;
 use proptest::test_runner::TestRng;
@@ -182,7 +187,7 @@ fn generate(rng: &mut TestRng) -> Case {
     // verification problem.
     let through_pool: Vec<NodeId> = mboxes.iter().copied().filter(|&m| Some(m) != lb).collect();
     let inv = match rng.below(8) {
-        0 | 1 | 2 => Invariant::NodeIsolation { src, dst },
+        0..=2 => Invariant::NodeIsolation { src, dst },
         3 | 4 => Invariant::FlowIsolation { src, dst },
         5 => Invariant::DataIsolation { origin: src, dst },
         _ if !through_pool.is_empty() => Invariant::Traversal {
@@ -205,6 +210,7 @@ fn opts(case: &Case, incremental: bool, cluster_threshold: f64) -> VerifyOptions
         policy_hint: case.hint.clone(),
         incremental,
         cluster_threshold,
+        emit_proofs: true,
         ..Default::default()
     }
 }
@@ -220,6 +226,30 @@ fn assert_witness_replays(net: &Network, verdict: &Verdict, label: &str, engine:
     }
 }
 
+/// Runs the trusted checker on a report's certificate: every UNSAT check
+/// must be derivable by reverse unit propagation, every SAT check's model
+/// must satisfy the live clause set, and the SAT/UNSAT split must agree
+/// with the verdict.
+fn assert_certificate_checks(report: &vmn::Report, label: &str, engine: &str) {
+    let bundle = report
+        .certificate
+        .as_ref()
+        .unwrap_or_else(|| panic!("{label}: {engine} must attach a certificate"));
+    let summary = vmn::check::check_bundle(bundle)
+        .unwrap_or_else(|e| panic!("{label}: {engine} certificate rejected: {e}"));
+    assert!(summary.checks > 0, "{label}: {engine} certificate covers no checks");
+    match report.verdict {
+        Verdict::Holds => assert_eq!(
+            summary.sat_checks, 0,
+            "{label}: {engine} certifies a model for a holding invariant"
+        ),
+        Verdict::Violated { .. } => assert!(
+            summary.sat_checks >= 1,
+            "{label}: {engine} violation carries no certified model"
+        ),
+    }
+}
+
 fn run_case(seed: u64) {
     let mut rng = TestRng::new(seed);
     let case = generate(&mut rng);
@@ -228,6 +258,7 @@ fn run_case(seed: u64) {
     let oracle = Verifier::new(&case.net, opts(&case, false, 0.0)).expect("valid network");
     let want = oracle.verify(&case.inv).expect("oracle verifies");
     assert_witness_replays(&case.net, &want.verdict, label, "oracle");
+    assert_certificate_checks(&want, label, "oracle");
 
     let engines = [
         ("single-union", 0.0),
@@ -252,9 +283,12 @@ fn run_case(seed: u64) {
             assert_eq!(gs, ws, "{label}: {engine} first violating scenario diverges");
         }
         assert_witness_replays(&case.net, &got.verdict, label, engine);
+        assert_certificate_checks(&got, label, engine);
 
         // Second pass on the same verifier: re-enters the pooled,
-        // cost-modelled sessions and must be observably identical.
+        // cost-modelled sessions and must be observably identical — and
+        // its certificate, sliced from the re-entered session's shared
+        // log, must validate independently.
         let again = v.verify(&case.inv).expect("re-verify succeeds");
         assert_eq!(
             again.verdict.holds(),
@@ -262,6 +296,7 @@ fn run_case(seed: u64) {
             "{label}: {engine} verdict unstable across session reuse"
         );
         assert_eq!(again.scenarios_checked, got.scenarios_checked, "{label}: {engine} re-sweep");
+        assert_certificate_checks(&again, label, &format!("{engine} (re-entered)"));
     }
 }
 
