@@ -1,0 +1,37 @@
+//! Criterion bench for the BDD dataplane fast path: the stateless-heavy
+//! estate (`fastpath_workload`) verified end-to-end under `Backend::Auto`
+//! (pod invariants route around the solver) against `Backend::Smt` (the
+//! pre-fast-path engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vmn::{Backend, Verifier, VerifyOptions};
+use vmn_bench::fastpath_workload;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fastpath_sweep");
+    group.sample_size(10);
+    for &pods in &[4usize, 8] {
+        let (net, hint, invs) = fastpath_workload(pods);
+        for (label, backend) in [("auto", Backend::Auto), ("forced_smt", Backend::Smt)] {
+            let opts =
+                VerifyOptions { policy_hint: Some(hint.clone()), backend, ..Default::default() };
+            group.bench_with_input(BenchmarkId::new(label, pods), &pods, |b, _| {
+                b.iter(|| {
+                    // A fresh verifier per iteration: predicate caches and
+                    // sessions re-warm inside the measurement, like a cold
+                    // sweep. `verify` per invariant, not `verify_all` —
+                    // symmetry would collapse the identical pods.
+                    let verifier = Verifier::new(&net, opts.clone()).expect("valid network");
+                    for inv in &invs {
+                        let report = verifier.verify(inv).expect("verifies");
+                        assert!(report.verdict.holds());
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! Emits `BENCH_fastpath.json`: the BDD dataplane fast path versus the
+//! full SMT pipeline on the stateless-heavy estate
+//! (`fastpath_workload`).
+//!
+//! One JSON row per pod count. Each sample verifies the whole invariant
+//! fleet — every pod's isolation invariant plus the stateful core pair —
+//! on a cold verifier, once under `Backend::Auto` (pod invariants route
+//! to the BDD dataplane, the core stays on SMT) and once under
+//! `Backend::Smt` (everything pays for a solver). Rows record end-to-end
+//! wall clock for both, the per-backend scenario-query split, per-query
+//! latency on the invariants each backend answered alone, and the number
+//! of verdict divergences between the two runs (must be zero — the fast
+//! path is only a fast path if it is also right).
+//!
+//! Usage:
+//!   bench_fastpath [--samples N] [--out PATH]
+//!
+//! Defaults: 5 samples per row, output written to BENCH_fastpath.json in
+//! the current directory — exactly the shape of the committed copy at
+//! the repository root.
+
+use std::time::Instant;
+use vmn::{Backend, Invariant, Network, Verifier, VerifyOptions};
+use vmn_net::NodeId;
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    v[v.len() / 2]
+}
+
+fn fold_min(v: &[f64]) -> f64 {
+    v.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// One cold sweep over the fleet with the given backend.
+struct Run {
+    total_ms: f64,
+    holds: Vec<bool>,
+    bdd_queries: usize,
+    smt_queries: usize,
+    /// Per-scenario-query latency (µs) of the invariants this backend
+    /// answered *entirely* on the BDD dataplane / entirely on SMT.
+    bdd_query_us: Vec<f64>,
+    smt_query_us: Vec<f64>,
+}
+
+fn run(net: &Network, hint: &[Vec<NodeId>], invs: &[Invariant], backend: Backend) -> Run {
+    let opts = VerifyOptions { policy_hint: Some(hint.to_vec()), backend, ..Default::default() };
+    let verifier = Verifier::new(net, opts).expect("valid network");
+    let t0 = Instant::now();
+    // `verify` per invariant (not `verify_all`): symmetry inheritance
+    // would collapse the structurally-identical pod invariants into one
+    // representative and measure a fraction of the fleet.
+    let reports: Vec<vmn::Report> =
+        invs.iter().map(|i| verifier.verify(i).expect("verifies")).collect();
+    let total_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut out = Run {
+        total_ms,
+        holds: reports.iter().map(|r| r.verdict.holds()).collect(),
+        bdd_queries: 0,
+        smt_queries: 0,
+        bdd_query_us: Vec::new(),
+        smt_query_us: Vec::new(),
+    };
+    for r in &reports {
+        out.bdd_queries += r.bdd_scenarios;
+        out.smt_queries += r.smt_scenarios;
+        let us = r.elapsed.as_secs_f64() * 1e6 / r.scenarios_checked.max(1) as f64;
+        if r.smt_scenarios == 0 && r.bdd_scenarios > 0 {
+            out.bdd_query_us.push(us);
+        } else if r.bdd_scenarios == 0 && r.smt_scenarios > 0 {
+            out.smt_query_us.push(us);
+        }
+    }
+    out
+}
+
+fn main() {
+    let mut samples = 5usize;
+    let mut out = "BENCH_fastpath.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--samples" => {
+                samples = args.next().expect("--samples needs a value").parse().expect("number")
+            }
+            "--out" => out = args.next().expect("--out needs a value"),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut rows: Vec<String> = Vec::new();
+    for pods in [4usize, 8, 16] {
+        let (net, hint, invs) = vmn_bench::fastpath_workload(pods);
+        let scenarios = net.all_scenarios().len();
+        let mut auto_ms = Vec::new();
+        let mut smt_ms = Vec::new();
+        let mut bdd_query_us = Vec::new();
+        let mut smt_query_us = Vec::new();
+        let mut divergences = 0usize;
+        let mut split = (0usize, 0usize, 0usize);
+        // Interleave the two series sample by sample so machine drift
+        // hits both equally.
+        for _ in 0..samples {
+            let a = run(&net, &hint, &invs, Backend::Auto);
+            let s = run(&net, &hint, &invs, Backend::Smt);
+            divergences += a.holds.iter().zip(&s.holds).filter(|(x, y)| x != y).count();
+            auto_ms.push(a.total_ms);
+            smt_ms.push(s.total_ms);
+            bdd_query_us.extend(a.bdd_query_us);
+            smt_query_us.extend(s.smt_query_us);
+            split = (a.bdd_queries, a.smt_queries, s.smt_queries);
+        }
+        let (am, sm) = (median(auto_ms.clone()), median(smt_ms));
+        let (bq, sq) = (median(bdd_query_us), median(smt_query_us));
+        eprintln!(
+            "fastpath/{pods}  {} invariants, {scenarios} scenarios  auto {am:>8.2} ms  \
+             forced-smt {sm:>8.2} ms  end-to-end {:>6.2}x  \
+             bdd query {bq:>8.1} us  smt query {sq:>10.1} us  per-query {:>7.1}x  \
+             divergences {divergences}",
+            invs.len(),
+            sm / am,
+            sq / bq
+        );
+        rows.push(format!(
+            "    {{\"workload\": \"fastpath/{pods}\", \"invariants\": {}, \
+             \"scenarios\": {scenarios}, \
+             \"auto_median_ms\": {am:.3}, \"auto_min_ms\": {:.3}, \
+             \"forced_smt_median_ms\": {sm:.3}, \"speedup_end_to_end\": {:.3}, \
+             \"auto_bdd_queries\": {}, \"auto_smt_queries\": {}, \"forced_smt_queries\": {}, \
+             \"bdd_query_median_us\": {bq:.2}, \"smt_query_median_us\": {sq:.2}, \
+             \"speedup_per_query\": {:.1}, \"verdict_divergences\": {divergences}}}",
+            invs.len(),
+            fold_min(&auto_ms),
+            sm / am,
+            split.0,
+            split.1,
+            split.2,
+            sq / bq
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"fastpath_sweep\",\n  \"workloads\": \
+         \"fastpath/P = P stateless pods (hosts behind a deny-all ACL firewall with a \
+         failover ACL fronting an IDPS-gateway chain) plus one stateful core pair behind a \
+         deny-all learning firewall; one node-isolation invariant per pod plus one for the \
+         core, all holding in every scenario (no-failure plus up to three pod-ACL failovers), \
+         so both backends sweep every scenario and the wall clocks compare the full fleet\",\n  \
+         \"unit\": \"wall-clock milliseconds end-to-end (1 thread; cold verifier per sample); \
+         per-query latencies in microseconds over the invariants answered entirely by one \
+         backend\",\n  \
+         \"series\": \"auto = VerifyOptions default (stateless slices on the BDD dataplane, \
+         the stateful core on SMT); forced_smt = Backend::Smt (the pre-fast-path engine); \
+         verdict_divergences counts per-invariant holds/violated disagreements between the \
+         two and must be 0\",\n  \
+         \"samples_per_point\": {samples},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out, json).expect("write BENCH_fastpath.json");
+    eprintln!("wrote {out}");
+}

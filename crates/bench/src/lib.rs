@@ -388,6 +388,99 @@ pub fn divergent_slice_workload(groups: usize) -> (Network, Vec<Vec<NodeId>>, In
     (net, vec![vec![a], vec![b]], inv)
 }
 
+/// Workload of the `fastpath_sweep` bench and the `bench_fastpath`
+/// emitter: a *stateless-heavy* estate — `pods` leaf pods whose traffic
+/// is policed purely by forwarding, ACL firewalls and classification
+/// chains (no mutable middlebox state anywhere in their slices), plus a
+/// small stateful core pair behind a learning firewall.
+///
+/// Shape: pod `p` has hosts `a_p`/`b_p`; `a_p`'s traffic is steered
+/// through a deny-all ACL firewall (with a deny-all backup for the
+/// failover scenarios) that fronts an IDPS → gateway chain, so the pod
+/// slices are several middleboxes deep — expensive to encode
+/// symbolically, trivial to compose as BDD transfer predicates. The core
+/// pair `c0`/`c1` sits behind a deny-all *learning* firewall, which is
+/// stateful and pins its invariant to the SMT path under every backend
+/// choice. Every invariant *holds* in every scenario, so both backends
+/// sweep all scenarios and end-to-end wall clocks compare the full
+/// workload: under `Backend::Auto` the pod invariants route to the BDD
+/// dataplane and only the core pays for a solver; under `Backend::Smt`
+/// everything does.
+pub fn fastpath_workload(pods: usize) -> (Network, Vec<Vec<NodeId>>, Vec<Invariant>) {
+    use vmn_mbox::models;
+    use vmn_net::{Address, FailureScenario, Prefix, RoutingConfig, Rule, Topology};
+
+    let px = |s: &str| -> Prefix { s.parse().unwrap() };
+    let mut topo = Topology::new();
+    let sw = topo.add_switch("sw");
+    // The small stateful core.
+    let c0 = topo.add_host("c0", "10.0.1.1".parse().unwrap());
+    let c1 = topo.add_host("c1", "10.0.2.1".parse().unwrap());
+    let fw_c = topo.add_middlebox("fwC", "stateful-firewall", vec![]);
+    for n in [c0, c1, fw_c] {
+        topo.add_link(n, sw);
+    }
+    // The stateless pods: hosts behind an ACL (plus failover ACL) that
+    // fronts an IDPS → gateway chain.
+    struct Pod {
+        a: NodeId,
+        b: NodeId,
+        acl: NodeId,
+        acl_backup: NodeId,
+        idps: NodeId,
+        gw: NodeId,
+    }
+    let mut pod_nodes: Vec<Pod> = Vec::new();
+    for p in 0..pods {
+        let subnet = (p as u32 + 8) << 16;
+        let a = topo.add_host(format!("a{p}"), Address(0x0A00_0001 + subnet));
+        let b = topo.add_host(format!("b{p}"), Address(0x0A00_0002 + subnet));
+        let acl = topo.add_middlebox(format!("acl{p}"), "acl-firewall", vec![]);
+        let acl_backup = topo.add_middlebox(format!("aclb{p}"), "acl-firewall", vec![]);
+        let idps = topo.add_middlebox(format!("idps{p}"), "idps", vec![]);
+        let gw = topo.add_middlebox(format!("gw{p}"), "gateway", vec![]);
+        for n in [a, b, acl, acl_backup, idps, gw] {
+            topo.add_link(n, sw);
+        }
+        pod_nodes.push(Pod { a, b, acl, acl_backup, idps, gw });
+    }
+
+    let mut rc = RoutingConfig::new();
+    rc.host_routes(&topo);
+    let mut tables = rc.build(&topo, &FailureScenario::none());
+    let all = px("10.0.0.0/8");
+    tables.add_rule(sw, Rule::from_neighbor(all, c0, fw_c).with_priority(20));
+    for pod in &pod_nodes {
+        tables.add_rule(sw, Rule::from_neighbor(all, pod.a, pod.acl).with_priority(20));
+        tables.add_rule(sw, Rule::from_neighbor(all, pod.a, pod.acl_backup).with_priority(10));
+        tables.add_rule(sw, Rule::from_neighbor(all, pod.acl, pod.idps).with_priority(20));
+        tables.add_rule(sw, Rule::from_neighbor(all, pod.acl_backup, pod.idps).with_priority(20));
+        tables.add_rule(sw, Rule::from_neighbor(all, pod.idps, pod.gw).with_priority(20));
+    }
+
+    let mut net = Network::new(topo, tables);
+    net.set_model(fw_c, models::learning_firewall("stateful-firewall", vec![]));
+    for pod in &pod_nodes {
+        net.set_model(pod.acl, models::acl_firewall("acl-firewall", vec![]));
+        net.set_model(pod.acl_backup, models::acl_firewall("acl-firewall", vec![]));
+        net.set_model(pod.idps, models::idps("idps"));
+        net.set_model(pod.gw, models::gateway("gateway"));
+    }
+    // Failover scenarios: up to three pods lose their primary ACL and
+    // re-converge through the backup (keeps sweep length bounded as the
+    // pod axis grows).
+    for pod in pod_nodes.iter().take(3) {
+        net.add_scenario(FailureScenario::nodes([pod.acl]));
+    }
+
+    let mut invs: Vec<Invariant> =
+        pod_nodes.iter().map(|p| Invariant::NodeIsolation { src: p.a, dst: p.b }).collect();
+    invs.push(Invariant::NodeIsolation { src: c0, dst: c1 });
+    let mut hint: Vec<Vec<NodeId>> = pod_nodes.iter().map(|p| vec![p.a, p.b]).collect();
+    hint.push(vec![c0, c1]);
+    (net, hint, invs)
+}
+
 /// Enterprise variant of the invariant sweep: the paper's per-subnet-kind
 /// invariant plus its natural direction partners for each kind — egress
 /// node isolation (subnet must not reach the internet), egress flow
@@ -411,3 +504,44 @@ pub fn invariant_sweep_enterprise() -> (Network, Vec<Vec<NodeId>>, Vec<Invariant
 }
 
 pub mod figures;
+
+#[cfg(test)]
+mod workload_tests {
+    use super::*;
+    use vmn::Backend;
+
+    /// The fastpath workload's routing contract: under `Auto` every pod
+    /// invariant is answered entirely by the BDD dataplane, the stateful
+    /// core stays on SMT, everything holds, and the verdicts match a
+    /// forced-SMT run — the assumptions the committed BENCH_fastpath.json
+    /// numbers rest on.
+    #[test]
+    fn fastpath_workload_routes_pods_to_bdd_and_core_to_smt() {
+        let (net, hint, invs) = fastpath_workload(2);
+        let scenarios = net.all_scenarios().len();
+        let auto = Verifier::new(
+            &net,
+            VerifyOptions { policy_hint: Some(hint.clone()), ..Default::default() },
+        )
+        .expect("valid network");
+        let smt = Verifier::new(
+            &net,
+            VerifyOptions { policy_hint: Some(hint), backend: Backend::Smt, ..Default::default() },
+        )
+        .expect("valid network");
+        let (core, pods) = invs.split_last().expect("core invariant is last");
+        for inv in pods {
+            let ra = auto.verify(inv).expect("verifies");
+            let rs = smt.verify(inv).expect("verifies");
+            assert!(ra.verdict.holds() && rs.verdict.holds(), "{inv}");
+            assert_eq!(ra.scenarios_checked, scenarios, "{inv}: full sweep");
+            assert_eq!(ra.bdd_scenarios, scenarios, "{inv}: pod slices are stateless");
+            assert_eq!(ra.smt_scenarios, 0, "{inv}");
+            assert_eq!(rs.bdd_scenarios, 0, "{inv}");
+        }
+        let ra = auto.verify(core).expect("verifies");
+        assert!(ra.verdict.holds());
+        assert_eq!(ra.bdd_scenarios, 0, "the learning-firewall core must stay on smt");
+        assert_eq!(ra.smt_scenarios, scenarios);
+    }
+}

@@ -14,7 +14,7 @@
 #![forbid(unsafe_code)]
 
 use std::process::ExitCode;
-use vmn::{Verdict, Verifier, VerifyOptions};
+use vmn::{Backend, Verdict, Verifier, VerifyOptions};
 
 mod config;
 
@@ -22,6 +22,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: vmn check <file> [--whole-network] [--threads N] [--trace]\n\
          \x20                    [--cluster-threshold F] [--certificate OUT]\n\
+         \x20                    [--backend auto|smt|bdd]\n\
          \n\
          With a `.vmn` network description, verifies every `verify` line\n\
          and prints a verdict per invariant. --whole-network disables\n\
@@ -31,7 +32,10 @@ fn usage() -> ExitCode {
          for grouping failure scenarios into shared solver sessions (0 =\n\
          one union, 1 = per-scenario, default 0.4). --certificate records\n\
          a DRAT-style proof of every verdict and writes the bundles to\n\
-         OUT.\n\
+         OUT. --backend picks the engine per scenario: auto (default)\n\
+         answers stateless slices on the BDD dataplane and the rest on\n\
+         SMT, smt forces the solver pipeline, bdd forces the fast path\n\
+         and fails cleanly on slices with mutable middlebox state.\n\
          \n\
          With a stored certificate bundle (first line `vmn-cert v1`),\n\
          runs the independent trusted checker on it instead: exit 0 if\n\
@@ -84,6 +88,13 @@ fn main() -> ExitCode {
     let mut trace = false;
     let mut cluster_threshold: Option<f64> = None;
     let mut certificate_out: Option<String> = None;
+    let mut backend = Backend::Auto;
+    let parse_backend = |s: &str| match s {
+        "auto" => Some(Backend::Auto),
+        "smt" => Some(Backend::Smt),
+        "bdd" => Some(Backend::Bdd),
+        _ => None,
+    };
     let mut it = args.iter();
     match it.next().map(String::as_str) {
         Some("check") => {}
@@ -126,6 +137,18 @@ fn main() -> ExitCode {
             s if s.starts_with("--certificate=") => {
                 certificate_out = Some(s["--certificate=".len()..].to_string())
             }
+            "--backend" => {
+                backend = match it.next().and_then(|s| parse_backend(s)) {
+                    Some(b) => b,
+                    None => return usage(),
+                }
+            }
+            s if s.starts_with("--backend=") => {
+                backend = match parse_backend(&s["--backend=".len()..]) {
+                    Some(b) => b,
+                    None => return usage(),
+                }
+            }
             s if !s.starts_with('-') && file.is_none() => file = Some(s.to_string()),
             _ => return usage(),
         }
@@ -159,6 +182,7 @@ fn main() -> ExitCode {
         options.cluster_threshold = t;
     }
     options.emit_proofs = certificate_out.is_some();
+    options.backend = backend;
     let verifier = match Verifier::new(&cfg.net, options) {
         Ok(v) => v,
         Err(e) => {
@@ -219,10 +243,16 @@ fn main() -> ExitCode {
     let inherited = reports.iter().filter(|r| r.inherited).count();
     let total: std::time::Duration = reports.iter().map(|r| r.elapsed).sum();
     let conflicts: u64 = reports.iter().map(|r| r.solver.conflicts).sum();
+    // Per-backend query counts over the runs that actually executed
+    // (inherited reports repeat their representative's counts).
+    let direct = || reports.iter().filter(|r| !r.inherited);
+    let smt_queries: usize = direct().map(|r| r.smt_scenarios).sum();
+    let bdd_queries: usize = direct().map(|r| r.bdd_scenarios).sum();
     if !reports.is_empty() {
         println!(
             "{} invariants: {} hold, {} violated, {} inherited by symmetry; \
-             solve time {total:?}, {conflicts} conflicts",
+             solve time {total:?}, {conflicts} conflicts; \
+             {smt_queries} smt / {bdd_queries} bdd scenario queries",
             reports.len(),
             holds,
             reports.len() - holds,

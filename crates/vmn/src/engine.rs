@@ -5,11 +5,13 @@ use crate::encoder::{self, EncodeError, Encoded};
 use crate::invariant::Invariant;
 use crate::network::Network;
 use crate::policy::{group_by_symmetry, PolicyClasses};
-use crate::slice::{cluster_slices, compute_slice};
-use crate::trace::Trace;
+use crate::slice::{cluster_slices, compute_slice, first_stateful_middlebox, stateless_slice};
+use crate::trace::{StepKind, Trace, TraceStep};
 use std::collections::HashMap;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+use vmn_bdd::dataplane::{DataplaneError, Outcome, Query};
+use vmn_bdd::{BddStats, Dataplane};
 use vmn_check::CertificateBundle;
 use vmn_net::{FailureScenario, NetError, NodeId};
 use vmn_smt::{SatResult, SolverStats};
@@ -69,6 +71,34 @@ pub struct Report {
     /// [`vmn_check::check_bundle`]. `None` when proofs are off and for
     /// inherited reports (the representative carries the certificate).
     pub certificate: Option<CertificateBundle>,
+    /// How many of `scenarios_checked` each backend answered. Inherited
+    /// reports keep the representative's counts (they describe the
+    /// verdict's provenance, like `scenarios_checked`), so per-backend
+    /// totals should sum over non-inherited reports only.
+    pub smt_scenarios: usize,
+    pub bdd_scenarios: usize,
+    /// BDD manager work attributable to this invariant's fast-path checks
+    /// (stats deltas off the verifier's shared dataplane), the analogue
+    /// of `solver` for the second backend. Zero for inherited reports and
+    /// all-SMT sweeps.
+    pub bdd: BddStats,
+}
+
+/// Which engine answers a scenario's reachability question.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// Route per (slice, scenario): stateless slices — pure forwarding,
+    /// ACLs and classification oracles — go to the BDD dataplane (no
+    /// solver session, microseconds); anything touching mutable middlebox
+    /// state takes the SMT pipeline. When certificates are requested the
+    /// SMT path is used throughout (the BDD backend emits no proofs).
+    #[default]
+    Auto,
+    /// Everything on the SMT pipeline (the pre-fast-path behaviour).
+    Smt,
+    /// Everything on the BDD dataplane; a stateful slice is a hard
+    /// [`VerifyError::Bdd`], never a silent fallback.
+    Bdd,
 }
 
 /// Engine configuration.
@@ -111,6 +141,8 @@ pub struct VerifyOptions {
     /// default: logging costs memory proportional to the clauses learnt,
     /// and the verdict paths are identical either way.
     pub emit_proofs: bool,
+    /// Which backend answers each (slice, scenario) — see [`Backend`].
+    pub backend: Backend,
 }
 
 /// Default Jaccard threshold for scenario clustering: slices within one
@@ -130,6 +162,7 @@ impl Default for VerifyOptions {
             reuse_sessions: true,
             cluster_threshold: DEFAULT_CLUSTER_THRESHOLD,
             emit_proofs: false,
+            backend: Backend::Auto,
         }
     }
 }
@@ -148,6 +181,10 @@ pub enum VerifyError {
     Net(NetError),
     Encode(EncodeError),
     InvalidNetwork(String),
+    /// The BDD fast path could not (or must not) answer: a forced
+    /// `Backend::Bdd` on a stateful slice or with certificates requested,
+    /// or a dataplane-level failure such as witness reconstruction.
+    Bdd(String),
 }
 
 impl From<NetError> for VerifyError {
@@ -168,6 +205,7 @@ impl std::fmt::Display for VerifyError {
             VerifyError::Net(e) => write!(f, "{e}"),
             VerifyError::Encode(e) => write!(f, "{e}"),
             VerifyError::InvalidNetwork(s) => write!(f, "invalid network: {s}"),
+            VerifyError::Bdd(s) => write!(f, "bdd backend: {s}"),
         }
     }
 }
@@ -334,6 +372,62 @@ pub struct Verifier<'n> {
     /// `verify_all` workers thereby share warmed-up solver state across
     /// invariants instead of rebuilding a stack per representative.
     pool: SessionPool,
+    /// The BDD dataplane backing the stateless fast path, built lazily on
+    /// the first routed check and shared across invariants and scenarios
+    /// (per-middlebox transfer predicates and per-scenario delivery
+    /// predicates cache inside it). Locking recovers from poisoning for
+    /// the same reason the pool's does.
+    bdd: Mutex<Option<Dataplane>>,
+}
+
+/// Running tallies of one invariant's sweep, folded into the [`Report`].
+#[derive(Default)]
+struct SweepCost {
+    scenarios_checked: usize,
+    encoded_nodes: usize,
+    steps: usize,
+    solver: SolverStats,
+    smt_scenarios: usize,
+    bdd_scenarios: usize,
+    bdd: BddStats,
+}
+
+/// Lowers a BDD dataplane witness to the engine's trace format: one
+/// host-send step plus one processing step per middlebox hop. The packet
+/// header is constant along the path — stateless slices rewrite nothing —
+/// and `HavocTag` retags are scripted to the witness tag (0), so the
+/// trace replays on the concrete simulator exactly like an SMT witness.
+fn witness_to_trace(w: &vmn_bdd::Witness) -> Trace {
+    let mut steps = Vec::with_capacity(w.hops.len() + 1);
+    steps.push(TraceStep {
+        kind: StepKind::HostSend,
+        actor: Some(w.sender),
+        packet: Some(w.header),
+        delivered_to: w.path.get(1).copied(),
+        target: None,
+        fired_rule: None,
+        choice: 0,
+        fresh_port: 0,
+        fresh_tag: 0,
+        oracle_values: HashMap::new(),
+    });
+    for (i, hop) in w.hops.iter().enumerate() {
+        // Hop `i` sits at step `i + 1` and consumes the packet emitted at
+        // step `i` (the send, or the previous hop's forward).
+        steps.push(TraceStep {
+            kind: StepKind::MboxProcess,
+            actor: Some(hop.mbox),
+            packet: Some(w.header),
+            delivered_to: w.path.get(i + 2).copied(),
+            target: Some(i),
+            fired_rule: Some(hop.rule),
+            choice: 0,
+            fresh_port: 0,
+            fresh_tag: 0,
+            oracle_values: hop.oracles.clone(),
+        });
+    }
+    Trace { steps }
 }
 
 impl<'n> Verifier<'n> {
@@ -343,7 +437,7 @@ impl<'n> Verifier<'n> {
             Some(groups) => PolicyClasses::from_groups(groups.clone()),
             None => PolicyClasses::compute(net),
         };
-        Ok(Verifier { net, options, policy, pool: SessionPool::new() })
+        Ok(Verifier { net, options, policy, pool: SessionPool::new(), bdd: Mutex::new(None) })
     }
 
     pub fn policy(&self) -> &PolicyClasses {
@@ -397,6 +491,97 @@ impl<'n> Verifier<'n> {
         self.pool.checkin(key, enc);
     }
 
+    /// Whether this (scenario, slice) goes to the BDD fast path. `Auto`
+    /// routes stateless slices there unless certificates are requested
+    /// (the BDD backend emits none); forced `Bdd` turns both obstacles
+    /// into hard errors instead of silently falling back.
+    fn route_to_bdd(
+        &self,
+        scenario: &FailureScenario,
+        nodes: &[NodeId],
+    ) -> Result<bool, VerifyError> {
+        match self.options.backend {
+            Backend::Smt => Ok(false),
+            Backend::Auto => {
+                Ok(!self.options.emit_proofs && stateless_slice(self.net, scenario, nodes))
+            }
+            Backend::Bdd => {
+                if self.options.emit_proofs {
+                    return Err(VerifyError::Bdd(
+                        "certificates were requested but the bdd backend emits no proofs; \
+                         disable proof emission or use the smt backend"
+                            .into(),
+                    ));
+                }
+                if let Some(m) = first_stateful_middlebox(self.net, scenario, nodes) {
+                    return Err(VerifyError::Bdd(format!(
+                        "slice middlebox '{}' holds mutable state; the bdd backend only \
+                         answers stateless slices",
+                        self.net.topo.node(m).name
+                    )));
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    /// Answers one scenario on the BDD dataplane: maps the invariant to a
+    /// reachability query, runs the fixed-point check on the (lazily
+    /// built, shared) dataplane, accumulates the manager-stats delta into
+    /// `stats`, and lowers a violation witness to a replayable [`Trace`].
+    fn check_bdd(
+        &self,
+        inv: &Invariant,
+        scenario: &FailureScenario,
+        nodes: &[NodeId],
+        k: usize,
+        stats: &mut BddStats,
+    ) -> Result<Option<Trace>, VerifyError> {
+        // On a stateless slice no middlebox distinguishes flows or
+        // origins, so flow isolation collapses to node isolation and data
+        // isolation to reachability from the origin's address (the
+        // dataplane pins packet origin == source address, matching the
+        // SMT encoder's send axioms).
+        let query = match inv {
+            Invariant::NodeIsolation { src, dst } | Invariant::FlowIsolation { src, dst } => {
+                Query::SourceReaches { saddr: self.net.host_address(*src), dst: *dst }
+            }
+            Invariant::DataIsolation { origin, dst } => {
+                Query::SourceReaches { saddr: self.net.host_address(*origin), dst: *dst }
+            }
+            Invariant::Traversal { dst, through, from } => {
+                Query::Bypass { dst: *dst, through: through.clone(), from: *from }
+            }
+        };
+        let mut guard = SessionPool::lock(&self.bdd);
+        if guard.is_none() {
+            *guard = Some(Dataplane::new(&self.net.topo, &self.net.tables));
+        }
+        let dp = guard.as_mut().expect("installed above");
+        let before = dp.stats();
+        // The SMT trace spends one step on the host send, so a bound of
+        // `k` steps admits at most `k - 1` middlebox processings.
+        let outcome = dp
+            .check(
+                &self.net.topo,
+                &self.net.tables,
+                &self.net.models,
+                scenario,
+                nodes,
+                &query,
+                k.saturating_sub(1),
+            )
+            .map_err(|e| match e {
+                DataplaneError::Net(n) => VerifyError::Net(n),
+                other => VerifyError::Bdd(other.to_string()),
+            })?;
+        *stats = *stats + dp.stats().delta_since(&before);
+        match outcome {
+            Outcome::Holds => Ok(None),
+            Outcome::Violated(w) => Ok(Some(witness_to_trace(&w))),
+        }
+    }
+
     /// The per-scenario verification plan: slice (or whole terminal set)
     /// and trace bound.
     fn plan(
@@ -447,18 +632,20 @@ impl<'n> Verifier<'n> {
         let start = Instant::now();
         let scenarios = self.net.all_scenarios();
         let emit_proofs = self.options.emit_proofs;
-        let report =
-            |verdict, scenarios_checked, encoded_nodes, steps, solver, certificate| Report {
-                invariant: inv.clone(),
-                verdict,
-                elapsed: start.elapsed(),
-                scenarios_checked,
-                encoded_nodes,
-                steps,
-                inherited: false,
-                solver,
-                certificate,
-            };
+        let report = |verdict, cost: SweepCost, certificate| Report {
+            invariant: inv.clone(),
+            verdict,
+            elapsed: start.elapsed(),
+            scenarios_checked: cost.scenarios_checked,
+            encoded_nodes: cost.encoded_nodes,
+            steps: cost.steps,
+            inherited: false,
+            solver: cost.solver,
+            certificate,
+            smt_scenarios: cost.smt_scenarios,
+            bdd_scenarios: cost.bdd_scenarios,
+            bdd: cost.bdd,
+        };
         // One proof session per solver session the sweep touches; the
         // bundle label names the invariant so `vmn-cli check` output is
         // attributable.
@@ -468,45 +655,35 @@ impl<'n> Verifier<'n> {
         if !self.options.incremental {
             // From-scratch baseline: fresh slice, encoder and solver per
             // scenario (what the `scenario_sweep` bench compares against).
-            let mut scenarios_checked = 0;
-            let mut encoded_nodes = 0;
-            let mut steps_used = 0;
-            let mut solver = SolverStats::default();
+            let mut cost = SweepCost::default();
             for scenario in scenarios {
-                scenarios_checked += 1;
+                cost.scenarios_checked += 1;
                 let (nodes, k) = self.plan(inv, &scenario)?;
-                encoded_nodes = encoded_nodes.max(nodes.len());
-                steps_used = steps_used.max(k);
+                cost.encoded_nodes = cost.encoded_nodes.max(nodes.len());
+                cost.steps = cost.steps.max(k);
+                if self.route_to_bdd(&scenario, &nodes)? {
+                    cost.bdd_scenarios += 1;
+                    if let Some(trace) = self.check_bdd(inv, &scenario, &nodes, k, &mut cost.bdd)? {
+                        return Ok(report(Verdict::Violated { trace, scenario }, cost, cert));
+                    }
+                    continue;
+                }
+                cost.smt_scenarios += 1;
                 let mut enc = encoder::encode(self.net, &scenario, &nodes, inv, k)?;
                 if emit_proofs {
                     enc.ctx.enable_proofs();
                 }
                 let sat = enc.ctx.check();
-                solver = solver + enc.ctx.stats();
+                cost.solver = cost.solver + enc.ctx.stats();
                 if let (Some(bundle), Some(session)) = (&mut cert, enc.ctx.proof_session(0)) {
                     bundle.sessions.push(session);
                 }
                 if sat == SatResult::Sat {
                     let trace = Trace::extract(&mut enc);
-                    let verdict = Verdict::Violated { trace, scenario };
-                    return Ok(report(
-                        verdict,
-                        scenarios_checked,
-                        encoded_nodes,
-                        steps_used,
-                        solver,
-                        cert,
-                    ));
+                    return Ok(report(Verdict::Violated { trace, scenario }, cost, cert));
                 }
             }
-            return Ok(report(
-                Verdict::Holds,
-                scenarios_checked,
-                encoded_nodes,
-                steps_used,
-                solver,
-                cert,
-            ));
+            return Ok(report(Verdict::Holds, cost, cert));
         }
 
         // Plan the scenarios up front, cluster their slices by overlap,
@@ -517,12 +694,18 @@ impl<'n> Verifier<'n> {
         // still checked before the error is surfaced.
         let mut slices: Vec<Vec<NodeId>> = Vec::new();
         let mut bounds_per_scenario: Vec<usize> = Vec::new();
+        let mut routes: Vec<bool> = Vec::new();
         let mut plan_error = None;
         for scenario in &scenarios {
-            match self.plan(inv, scenario) {
-                Ok((nodes, ks)) => {
+            let planned = self.plan(inv, scenario).and_then(|(nodes, ks)| {
+                let routed = self.route_to_bdd(scenario, &nodes)?;
+                Ok((nodes, ks, routed))
+            });
+            match planned {
+                Ok((nodes, ks, routed)) => {
                     slices.push(nodes);
                     bounds_per_scenario.push(ks);
+                    routes.push(routed);
                 }
                 Err(e) => {
                     plan_error = Some(e);
@@ -539,7 +722,17 @@ impl<'n> Verifier<'n> {
             } else {
                 self.options.cluster_threshold.clamp(0.0, 1.0)
             };
-            let clusters = cluster_slices(&slices, threshold);
+            // Only SMT-routed scenarios need solver sessions; cluster
+            // their slices alone so a BDD-heavy sweep does not inflate
+            // (or merge) the solver clusters, then map the cluster
+            // members back to global scenario indices.
+            let smt_planned: Vec<usize> = (0..planned).filter(|&i| !routes[i]).collect();
+            let smt_slices: Vec<Vec<NodeId>> =
+                smt_planned.iter().map(|&i| slices[i].clone()).collect();
+            let clusters: Vec<Vec<usize>> = cluster_slices(&smt_slices, threshold)
+                .into_iter()
+                .map(|members| members.into_iter().map(|j| smt_planned[j]).collect())
+                .collect();
             // Per cluster: the union node set, the max bound, and —
             // lazily, when its first scenario comes up — the session.
             struct ClusterState {
@@ -566,16 +759,45 @@ impl<'n> Verifier<'n> {
                     ClusterState { nodes, k, session: None }
                 })
                 .collect();
-            let mut cluster_of: Vec<usize> = vec![0; planned];
+            // BDD-routed scenarios have no cluster; `usize::MAX` keeps an
+            // accidental lookup loud instead of aliasing cluster 0.
+            let mut cluster_of: Vec<usize> = vec![usize::MAX; planned];
             for (c, members) in clusters.iter().enumerate() {
                 for &i in members {
                     cluster_of[i] = c;
                 }
             }
-            let mut scenarios_checked = 0;
+            let mut cost = SweepCost::default();
             let mut outcome: Result<Option<(Trace, FailureScenario)>, VerifyError> = Ok(None);
             let mut errored_cluster = None;
             for (i, scenario) in scenarios.into_iter().take(planned).enumerate() {
+                if routes[i] {
+                    cost.scenarios_checked += 1;
+                    cost.bdd_scenarios += 1;
+                    // Fast-path plans still count toward the report's
+                    // size/bound maxima so Auto and forced-SMT reports
+                    // stay comparable.
+                    cost.encoded_nodes = cost.encoded_nodes.max(slices[i].len());
+                    cost.steps = cost.steps.max(bounds_per_scenario[i]);
+                    match self.check_bdd(
+                        inv,
+                        &scenario,
+                        &slices[i],
+                        bounds_per_scenario[i],
+                        &mut cost.bdd,
+                    ) {
+                        Ok(None) => {}
+                        Ok(Some(trace)) => {
+                            outcome = Ok(Some((trace, scenario)));
+                            break;
+                        }
+                        Err(e) => {
+                            outcome = Err(e);
+                            break;
+                        }
+                    }
+                    continue;
+                }
                 let state = &mut states[cluster_of[i]];
                 if state.session.is_none() {
                     // Sessions may have been warmed up by other invariants
@@ -595,7 +817,8 @@ impl<'n> Verifier<'n> {
                     }
                 }
                 let (enc, ..) = state.session.as_mut().expect("installed above");
-                scenarios_checked += 1;
+                cost.scenarios_checked += 1;
+                cost.smt_scenarios += 1;
                 match enc.check_invariant_scenario(self.net, inv, &scenario) {
                     Ok(SatResult::Sat) => {
                         outcome = Ok(Some((Trace::extract(enc), scenario)));
@@ -617,15 +840,13 @@ impl<'n> Verifier<'n> {
             // clusters unbuilt). A session whose check errored may hold a
             // half-registered scenario encoding; drop it instead, so later
             // invariants with the same key start from a clean skeleton.
-            let mut solver = SolverStats::default();
-            let mut encoded_nodes = 0;
-            let mut steps = 1;
+            cost.steps = cost.steps.max(1);
             for (c, state) in states.into_iter().enumerate() {
                 let Some((enc, warmed, before, checks_from)) = state.session else { continue };
-                encoded_nodes = encoded_nodes.max(state.nodes.len());
-                steps = steps.max(state.k);
+                cost.encoded_nodes = cost.encoded_nodes.max(state.nodes.len());
+                cost.steps = cost.steps.max(state.k);
                 let delta = enc.ctx.stats().delta_since(&before);
-                solver = solver + delta;
+                cost.solver = cost.solver + delta;
                 if let (Some(bundle), Some(session)) =
                     (&mut cert, enc.ctx.proof_session(checks_from))
                 {
@@ -639,25 +860,10 @@ impl<'n> Verifier<'n> {
             match outcome {
                 Err(e) => return Err(e),
                 Ok(Some((trace, scenario))) => {
-                    let verdict = Verdict::Violated { trace, scenario };
-                    return Ok(report(
-                        verdict,
-                        scenarios_checked,
-                        encoded_nodes,
-                        steps,
-                        solver,
-                        cert,
-                    ));
+                    return Ok(report(Verdict::Violated { trace, scenario }, cost, cert));
                 }
                 Ok(None) if plan_error.is_none() => {
-                    return Ok(report(
-                        Verdict::Holds,
-                        scenarios_checked,
-                        encoded_nodes,
-                        steps,
-                        solver,
-                        cert,
-                    ));
+                    return Ok(report(Verdict::Holds, cost, cert));
                 }
                 Ok(None) => {}
             }
@@ -722,6 +928,7 @@ impl<'n> Verifier<'n> {
                     // exactly once.
                     r.elapsed = Duration::ZERO;
                     r.solver = SolverStats::default();
+                    r.bdd = BddStats::default();
                     // The certificate proves the *representative's* run;
                     // an inherited verdict has no solver run of its own to
                     // certify (symmetry is the trusted step here).
@@ -1021,6 +1228,193 @@ mod engine_tests {
                 assert_eq!(gs, ws, "threshold {threshold}: first violating scenario");
             }
         }
+    }
+
+    /// The pipelined topology with the firewalls swapped to *stateless*
+    /// ACL models (same "stateful-firewall" type tag, so the steering and
+    /// slices are unchanged): every slice classifies stateless and Auto
+    /// routes the whole sweep onto the BDD fast path.
+    fn stateless_pipelined(allow: Vec<(Prefix, Prefix)>) -> (Network, NodeId, NodeId) {
+        let (mut net, src, dst) = pipelined(true);
+        for name in ["fw1", "fw2"] {
+            let fw = net.topo.by_name(name).unwrap();
+            net.set_model(fw, models::acl_firewall("stateful-firewall", allow.clone()));
+        }
+        (net, src, dst)
+    }
+
+    #[test]
+    fn auto_routes_stateless_slices_to_bdd_and_verdicts_match_smt() {
+        let allow = vec![(px("8.0.0.0/8"), px("10.0.0.0/24"))];
+        let (net, src, dst) = stateless_pipelined(allow);
+        for inv in [
+            Invariant::NodeIsolation { src, dst },
+            Invariant::FlowIsolation { src, dst },
+            Invariant::DataIsolation { origin: src, dst },
+            Invariant::NodeIsolation { src: dst, dst: src },
+        ] {
+            let auto = Verifier::new(&net, VerifyOptions::default()).unwrap();
+            let smt =
+                Verifier::new(&net, VerifyOptions { backend: Backend::Smt, ..Default::default() })
+                    .unwrap();
+            let ra = auto.verify(&inv).unwrap();
+            let rs = smt.verify(&inv).unwrap();
+            assert_eq!(ra.verdict.holds(), rs.verdict.holds(), "{inv}");
+            assert_eq!(ra.scenarios_checked, rs.scenarios_checked, "{inv}");
+            assert_eq!(ra.bdd_scenarios, ra.scenarios_checked, "{inv}: all fast-pathed");
+            assert_eq!(ra.smt_scenarios, 0, "{inv}");
+            assert_eq!(
+                ra.solver.decisions + ra.solver.propagations + ra.solver.conflicts,
+                0,
+                "{inv}: the fast path must not touch a solver"
+            );
+            assert!(ra.bdd.nodes > 0, "{inv}: bdd work is attributed to the report");
+            assert_eq!(rs.bdd_scenarios, 0, "{inv}");
+            assert_eq!(rs.smt_scenarios, rs.scenarios_checked, "{inv}");
+            if let (
+                Verdict::Violated { scenario: sa, .. },
+                Verdict::Violated { scenario: ss, .. },
+            ) = (&ra.verdict, &rs.verdict)
+            {
+                assert_eq!(sa, ss, "{inv}: first violating scenario");
+            }
+        }
+    }
+
+    #[test]
+    fn bdd_witnesses_replay_on_the_simulator() {
+        let allow = vec![(px("8.0.0.0/8"), px("10.0.0.0/24"))];
+        let (net, src, dst) = stateless_pipelined(allow);
+        let v = Verifier::new(&net, VerifyOptions::default()).unwrap();
+        let r = v.verify(&Invariant::NodeIsolation { src, dst }).unwrap();
+        assert!(r.bdd_scenarios > 0, "the violation must come from the fast path");
+        let Verdict::Violated { trace, scenario } = &r.verdict else {
+            panic!("allow-listed traffic reaches dst");
+        };
+        let receptions = trace.replay(&net, scenario).expect("replay succeeds");
+        assert!(
+            receptions.iter().any(|o| o.at == dst),
+            "the synthesized trace must reproduce the reception at dst:\n{}",
+            trace.render(&net)
+        );
+    }
+
+    #[test]
+    fn bdd_traversal_bypass_matches_smt() {
+        // Allow-all ACL firewalls with backup steering: under fw1's
+        // failure the packet reaches dst via fw2, bypassing fw1.
+        let allow = vec![(px("0.0.0.0/0"), px("0.0.0.0/0"))];
+        let (net, src, dst) = stateless_pipelined(allow);
+        let fw1 = net.topo.by_name("fw1").unwrap();
+        let inv = Invariant::Traversal { dst, through: vec![fw1], from: Some(src) };
+        let auto = Verifier::new(&net, VerifyOptions::default()).unwrap();
+        let smt =
+            Verifier::new(&net, VerifyOptions { backend: Backend::Smt, ..Default::default() })
+                .unwrap();
+        let ra = auto.verify(&inv).unwrap();
+        let rs = smt.verify(&inv).unwrap();
+        assert!(ra.bdd_scenarios > 0);
+        assert_eq!(ra.verdict.holds(), rs.verdict.holds());
+        assert!(!ra.verdict.holds(), "failure of fw1 lets traffic bypass it");
+        if let Verdict::Violated { trace, scenario } = &ra.verdict {
+            assert_eq!(scenario.fault_count(), 1);
+            let receptions = trace.replay(&net, scenario).expect("replay succeeds");
+            assert!(receptions.iter().any(|o| o.at == dst));
+        }
+    }
+
+    #[test]
+    fn auto_with_certificates_stays_on_smt() {
+        let allow = vec![(px("8.0.0.0/8"), px("10.0.0.0/24"))];
+        let (net, src, dst) = stateless_pipelined(allow);
+        let opts = VerifyOptions { emit_proofs: true, ..Default::default() };
+        let v = Verifier::new(&net, opts).unwrap();
+        let r = v.verify(&Invariant::NodeIsolation { src, dst }).unwrap();
+        assert_eq!(r.bdd_scenarios, 0, "proof emission must force the certified path");
+        assert_eq!(r.smt_scenarios, r.scenarios_checked);
+        assert!(r.certificate.is_some());
+    }
+
+    #[test]
+    fn forced_bdd_on_stateful_slice_is_a_clean_error() {
+        let (net, src, dst) = pipelined(true); // learning (stateful) firewalls
+        let opts = VerifyOptions { backend: Backend::Bdd, ..Default::default() };
+        let v = Verifier::new(&net, opts).unwrap();
+        let err = v.verify(&Invariant::NodeIsolation { src, dst }).unwrap_err();
+        let VerifyError::Bdd(msg) = err else {
+            panic!("expected a bdd routing error, got: {err}");
+        };
+        assert!(msg.contains("fw"), "the error names the stateful middlebox: {msg}");
+    }
+
+    #[test]
+    fn forced_bdd_with_certificates_is_a_clean_error() {
+        let allow = vec![(px("8.0.0.0/8"), px("10.0.0.0/24"))];
+        let (net, src, dst) = stateless_pipelined(allow);
+        let opts = VerifyOptions { backend: Backend::Bdd, emit_proofs: true, ..Default::default() };
+        let v = Verifier::new(&net, opts).unwrap();
+        let err = v.verify(&Invariant::NodeIsolation { src, dst }).unwrap_err();
+        assert!(matches!(err, VerifyError::Bdd(_)), "got: {err}");
+    }
+
+    #[test]
+    fn forced_bdd_matches_auto_on_stateless_slices() {
+        let allow = vec![(px("8.0.0.0/8"), px("10.0.0.0/24"))];
+        let (net, src, dst) = stateless_pipelined(allow);
+        for incremental in [false, true] {
+            let forced = Verifier::new(
+                &net,
+                VerifyOptions { backend: Backend::Bdd, incremental, ..Default::default() },
+            )
+            .unwrap();
+            let auto =
+                Verifier::new(&net, VerifyOptions { incremental, ..Default::default() }).unwrap();
+            let inv = Invariant::NodeIsolation { src, dst };
+            let rf = forced.verify(&inv).unwrap();
+            let ra = auto.verify(&inv).unwrap();
+            assert_eq!(rf.verdict.holds(), ra.verdict.holds());
+            assert_eq!(rf.bdd_scenarios, ra.bdd_scenarios);
+        }
+    }
+
+    #[test]
+    fn mixed_sweeps_split_scenarios_between_backends() {
+        // fw1 becomes a deny-all *stateless* ACL: the no-failure scenario
+        // steers through it alone, classifies stateless, and holds on the
+        // BDD fast path. Under fw1's failure the backup steering goes via
+        // fw2 — an allow-all *learning* (stateful) firewall — so that
+        // scenario takes the SMT path and is violated. One invariant, two
+        // backends, one report.
+        let (mut net, src, dst) = pipelined(true);
+        let fw1 = net.topo.by_name("fw1").unwrap();
+        net.set_model(fw1, models::acl_firewall("stateful-firewall", vec![]));
+        let inv = Invariant::NodeIsolation { src, dst };
+        let auto = Verifier::new(&net, VerifyOptions::default()).unwrap();
+        let smt =
+            Verifier::new(&net, VerifyOptions { backend: Backend::Smt, ..Default::default() })
+                .unwrap();
+        let ra = auto.verify(&inv).unwrap();
+        let rs = smt.verify(&inv).unwrap();
+        assert_eq!(ra.verdict.holds(), rs.verdict.holds());
+        assert!(!ra.verdict.holds(), "the backup path has no ACL bite");
+        assert_eq!(ra.scenarios_checked, rs.scenarios_checked);
+        assert_eq!(ra.bdd_scenarios + ra.smt_scenarios, ra.scenarios_checked);
+        assert!(ra.bdd_scenarios > 0, "the stateless scenario takes the fast path");
+        assert!(ra.smt_scenarios > 0, "the stateful scenario stays on smt");
+        assert!(ra.solver.decisions + ra.solver.propagations > 0);
+    }
+
+    #[test]
+    fn inherited_reports_zero_bdd_stats_but_keep_backend_counts() {
+        let allow = vec![(px("8.0.0.0/8"), px("10.0.0.0/24"))];
+        let (net, src, dst) = stateless_pipelined(allow);
+        let v = Verifier::new(&net, VerifyOptions::default()).unwrap();
+        let inv = Invariant::NodeIsolation { src, dst };
+        let reports = v.verify_all(&[inv.clone(), inv], 1).unwrap();
+        assert!(reports[0].bdd_scenarios > 0);
+        assert!(reports[1].inherited);
+        assert_eq!(reports[1].bdd, BddStats::default(), "inherited cost must not double-count");
+        assert_eq!(reports[1].bdd_scenarios, reports[0].bdd_scenarios, "provenance is kept");
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub mod policy;
 pub mod slice;
 pub mod trace;
 
-pub use engine::{Report, Verdict, Verifier, VerifyError, VerifyOptions};
+pub use engine::{Backend, Report, Verdict, Verifier, VerifyError, VerifyOptions};
 pub use invariant::Invariant;
 pub use network::Network;
 pub use policy::PolicyClasses;

@@ -101,6 +101,34 @@ pub fn compute_slice(
     Ok(set.into_iter().collect())
 }
 
+/// The first middlebox in `slice` whose behaviour the BDD backend cannot
+/// express under `scenario`, or `None` when the whole slice is stateless
+/// — pure forwarding, ACLs and classification oracles.
+///
+/// Failed middleboxes never process packets, so a scenario that fails
+/// the only stateful box on a path leaves the remaining slice stateless:
+/// the classification is per (slice, scenario), not per slice alone.
+/// Middleboxes without a model are conservatively stateful (engine
+/// validation rejects such networks anyway).
+pub fn first_stateful_middlebox(
+    net: &Network,
+    scenario: &FailureScenario,
+    slice: &[NodeId],
+) -> Option<NodeId> {
+    slice.iter().copied().find(|&n| {
+        net.topo.node(n).kind.is_middlebox()
+            && !scenario.is_failed(n)
+            && net.models.get(&n).is_none_or(|m| vmn_bdd::dataplane::statefulness(m).is_some())
+    })
+}
+
+/// Whether every live middlebox in `slice` is stateless under `scenario`
+/// — the eligibility test for routing a query to the BDD dataplane
+/// backend instead of the SMT pipeline.
+pub fn stateless_slice(net: &Network, scenario: &FailureScenario, slice: &[NodeId]) -> bool {
+    first_stateful_middlebox(net, scenario, slice).is_none()
+}
+
 /// Jaccard similarity of two sorted, deduplicated node sets:
 /// `|a ∩ b| / |a ∪ b|`. Two empty sets are identical (similarity 1.0).
 pub fn jaccard(a: &[NodeId], b: &[NodeId]) -> f64 {
@@ -386,6 +414,53 @@ mod tests {
         assert!(slice.contains(&pairs[2].1));
         let fw = net.topo.by_name("fw").unwrap();
         assert!(slice.contains(&fw));
+    }
+
+    #[test]
+    fn stateful_boxes_classify_the_slice_stateful() {
+        // Firewalls (state-reading) and load balancers (rewriting) make a
+        // slice ineligible for the BDD backend; pure forwarding + ACL
+        // boxes keep it eligible.
+        let (net, pairs) = many_pairs(2);
+        let fw = net.topo.by_name("fw").unwrap();
+        let slice = vec![pairs[0].0, pairs[0].1, fw];
+        let none = FailureScenario::none();
+        assert_eq!(first_stateful_middlebox(&net, &none, &slice), Some(fw));
+        assert!(!stateless_slice(&net, &none, &slice));
+
+        let mut lb_net = net.clone();
+        lb_net.set_model(fw, models::load_balancer("lb", addr("10.0.0.9"), vec![addr("10.0.0.1")]));
+        assert_eq!(first_stateful_middlebox(&lb_net, &none, &slice), Some(fw));
+
+        let mut acl_net = net.clone();
+        acl_net.set_model(
+            fw,
+            models::acl_firewall("aclfw", vec![(px("10.0.0.0/8"), px("10.0.0.0/8"))]),
+        );
+        assert!(stateless_slice(&acl_net, &none, &slice));
+
+        let mut idps_net = net;
+        idps_net.set_model(fw, models::idps("idps"));
+        assert!(stateless_slice(&idps_net, &none, &slice), "oracle boxes are stateless");
+    }
+
+    #[test]
+    fn hosts_only_slices_are_stateless() {
+        let (net, pairs) = many_pairs(2);
+        let slice = vec![pairs[0].0, pairs[0].1];
+        assert!(stateless_slice(&net, &FailureScenario::none(), &slice));
+    }
+
+    #[test]
+    fn failed_stateful_boxes_do_not_count() {
+        // Scenario-dependence: a failed firewall never processes packets,
+        // so the slice is stateless exactly under the scenario that
+        // fails it.
+        let (net, pairs) = many_pairs(2);
+        let fw = net.topo.by_name("fw").unwrap();
+        let slice = vec![pairs[0].0, pairs[0].1, fw];
+        assert!(!stateless_slice(&net, &FailureScenario::none(), &slice));
+        assert!(stateless_slice(&net, &FailureScenario::nodes([fw]), &slice));
     }
 
     #[test]

@@ -19,10 +19,17 @@
 //! independent trusted checker (`vmn_check`) validates each report's
 //! certificate — UNSAT derivations for refuted scenarios, replayable
 //! models for violations — so the proof log is fuzzed against the same
-//! random workloads as the solver itself. Cases are generated from the
-//! proptest harness's deterministic per-test seed, so failures reproduce
-//! exactly; set `VMN_FUZZ_CASES` to bound the case count (CI pins a small
-//! subset, the default is 200).
+//! random workloads as the solver itself.
+//!
+//! On top of the four certified engines, every case re-runs with proofs
+//! off under `Backend::Auto` (incremental and baseline), where stateless
+//! slices are answered by the BDD dataplane fast path instead of the
+//! solver: verdicts, scenario counts and first violating scenarios must
+//! still match the SMT oracle, and BDD-synthesized witnesses must replay
+//! on the concrete simulator exactly like SMT ones. Cases are generated
+//! from the proptest harness's deterministic per-test seed, so failures
+//! reproduce exactly; set `VMN_FUZZ_CASES` to bound the case count (CI
+//! pins a small subset, the default is 200).
 
 use proptest::prelude::*;
 use proptest::test_runner::TestRng;
@@ -297,6 +304,41 @@ fn run_case(seed: u64) {
         );
         assert_eq!(again.scenarios_checked, got.scenarios_checked, "{label}: {engine} re-sweep");
         assert_certificate_checks(&again, label, &format!("{engine} (re-entered)"));
+    }
+
+    // Multi-backend routing (proofs off, `Backend::Auto`): scenarios
+    // whose slices carry no mutable middlebox state are answered by the
+    // BDD dataplane instead of the solver — generated ACL firewalls and
+    // middlebox-free cases exercise it heavily. The router must agree
+    // with the SMT oracle on every observable, and its witnesses must
+    // replay concretely. No certificate assertions: the fast path emits
+    // no proofs, which is exactly why `Auto` only uses it when proofs
+    // are off.
+    for (engine, incremental) in [("auto-routed", true), ("auto-routed-baseline", false)] {
+        let options =
+            VerifyOptions { policy_hint: case.hint.clone(), incremental, ..Default::default() };
+        let v = Verifier::new(&case.net, options).expect("valid network");
+        let got = v.verify(&case.inv).expect("routed verify succeeds");
+        assert_eq!(
+            got.verdict.holds(),
+            want.verdict.holds(),
+            "{label}: {engine} verdict diverges from oracle"
+        );
+        assert_eq!(
+            got.scenarios_checked, want.scenarios_checked,
+            "{label}: {engine} scenario count diverges"
+        );
+        assert_eq!(
+            got.smt_scenarios + got.bdd_scenarios,
+            got.scenarios_checked,
+            "{label}: {engine} backend split must cover the sweep"
+        );
+        if let (Verdict::Violated { scenario: gs, .. }, Verdict::Violated { scenario: ws, .. }) =
+            (&got.verdict, &want.verdict)
+        {
+            assert_eq!(gs, ws, "{label}: {engine} first violating scenario diverges");
+        }
+        assert_witness_replays(&case.net, &got.verdict, label, engine);
     }
 }
 
