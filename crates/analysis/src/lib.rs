@@ -1,0 +1,1015 @@
+//! Static analysis over the [`MboxModel`] IR.
+//!
+//! The paper's scaling machinery — slicing (§4.1), symmetry, the BDD
+//! fast path — is sound only if each middlebox really is flow-parallel /
+//! origin-agnostic / stateless as claimed. Those facts used to be
+//! hand-declared builder annotations plus a string-matching classifier
+//! in the BDD backend that nothing cross-checked. This crate *derives*
+//! them from the model IR and treats the declarations as lintable
+//! claims:
+//!
+//! * **Footprints** — which header fields each rule reads (guards, state
+//!   keys, recorded packets) and writes (rewrites, replays).
+//! * **State liveness** — which state sets are read, written, or dead.
+//! * **Inferred statefulness** — whether any rule arm reads live state
+//!   or mutates state; a read of a state set no rule ever inserts into
+//!   is vacuous (history-defined state starts empty) and does not make
+//!   the model stateful.
+//! * **Inferred parallelism** — every state access keyed by the
+//!   packet's own flow ⇒ [`Parallelism::FlowParallel`]; shared-key state
+//!   whose keys are all source-independent (`Origin` / `DstAddr`) ⇒
+//!   [`Parallelism::OriginAgnostic`]; anything else ⇒
+//!   [`Parallelism::General`].
+//! * **Dead rule arms** under first-match semantics — structurally by
+//!   constant propagation (arms after an always-true guard, empty-ACL
+//!   matches, vacuous state reads), and precisely via a pluggable
+//!   [`ArmDecider`] (the `vmn_bdd` crate implements it with its ROBDD
+//!   engine; this crate stays solver-free so the BDD backend can depend
+//!   on it without a cycle).
+//!
+//! [`bdd_support`] is the single source of truth for the BDD backend's
+//! eligibility classification (`vmn_bdd::dataplane::statefulness` is a
+//! thin delegate), and [`annotation_error`] is the soundness gate the
+//! verifier runs on every model before building slices.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::fmt;
+use vmn_mbox::{Action, Guard, KeyExpr, MboxModel, Parallelism};
+
+/// Witness reconstruction in the BDD backend enumerates oracle
+/// valuations exhaustively, so transfer compilation refuses models
+/// beyond this many oracles.
+pub const MAX_ORACLES: usize = 16;
+
+/// One header field, the granularity of dataflow footprints.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Field {
+    Src,
+    Dst,
+    SrcPort,
+    DstPort,
+    Proto,
+    Origin,
+    Tag,
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Field::Src => "src",
+            Field::Dst => "dst",
+            Field::SrcPort => "src-port",
+            Field::DstPort => "dst-port",
+            Field::Proto => "proto",
+            Field::Origin => "origin",
+            Field::Tag => "tag",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Header fields a rule (or a whole model) reads and writes.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct Footprint {
+    pub reads: BTreeSet<Field>,
+    pub writes: BTreeSet<Field>,
+}
+
+impl Footprint {
+    fn union(&mut self, other: &Footprint) {
+        self.reads.extend(other.reads.iter().copied());
+        self.writes.extend(other.writes.iter().copied());
+    }
+}
+
+fn render_fields(fs: &BTreeSet<Field>) -> String {
+    if fs.is_empty() {
+        return "(none)".into();
+    }
+    fs.iter().map(Field::to_string).collect::<Vec<_>>().join(", ")
+}
+
+impl fmt::Display for Footprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "reads {}; writes {}", render_fields(&self.reads), render_fields(&self.writes))
+    }
+}
+
+/// Why a model is stateful: the first state interaction, in rule order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StatefulReason {
+    /// A guard reads a state set some rule inserts into.
+    ReadsState { rule: usize, state: String },
+    /// A rule inserts into a state set.
+    WritesState { rule: usize, state: String },
+    /// A rule replays remembered state into the packet
+    /// (`RestoreDstFromState` / `RespondFromState`).
+    ReplaysState { rule: usize, state: String },
+}
+
+impl fmt::Display for StatefulReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatefulReason::ReadsState { rule, state } => {
+                write!(f, "rule {rule} reads state set {state:?}")
+            }
+            StatefulReason::WritesState { rule, state } => {
+                write!(f, "rule {rule} inserts into state {state:?}")
+            }
+            StatefulReason::ReplaysState { rule, state } => {
+                write!(f, "rule {rule} replays state {state:?}")
+            }
+        }
+    }
+}
+
+/// Why the BDD dataplane backend cannot express a model — the typed
+/// replacement for the ad-hoc reason string `statefulness()` used to
+/// return. Conservative by construction: every state read (live or
+/// not) and every packet-rewriting action disqualifies, because a
+/// transfer *predicate* can express neither history dependence nor
+/// header modification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UnsupportedByBdd {
+    Stateful(StatefulReason),
+    /// A rule rewrites the packet header (`RewriteSrc`, `RewriteDst`,
+    /// `RewriteDstOneOf`, `RewriteSrcPortFresh`).
+    RewritesHeader {
+        rule: usize,
+    },
+    /// Witness reconstruction enumerates oracle valuations; more than
+    /// [`MAX_ORACLES`] oracles make that intractable.
+    TooManyOracles {
+        count: usize,
+    },
+}
+
+impl fmt::Display for UnsupportedByBdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnsupportedByBdd::Stateful(r) => r.fmt(f),
+            UnsupportedByBdd::RewritesHeader { rule } => {
+                write!(f, "rule {rule} rewrites the packet header")
+            }
+            UnsupportedByBdd::TooManyOracles { count } => {
+                write!(f, "{count} oracles exceed the backend limit")
+            }
+        }
+    }
+}
+
+/// The BDD backend's eligibility classification: `None` when the model
+/// is a pure forwarding/ACL/classification box the dataplane can
+/// compile, the first obstacle otherwise. This is the one source of
+/// truth behind `vmn_bdd::dataplane::statefulness` and the engine's
+/// slice-level routing; unlike [`ModelAnalysis::statefulness`] it
+/// refuses even vacuous state reads, because guard compilation rejects
+/// `StateContains` outright.
+pub fn bdd_support(model: &MboxModel) -> Option<UnsupportedByBdd> {
+    for (i, rule) in model.rules.iter().enumerate() {
+        if let Some(state) = first_guard_state(&rule.guard) {
+            return Some(UnsupportedByBdd::Stateful(StatefulReason::ReadsState {
+                rule: i,
+                state: state.to_string(),
+            }));
+        }
+        for action in &rule.actions {
+            match action {
+                Action::Forward | Action::Drop | Action::HavocTag => {}
+                Action::Insert(s) => {
+                    return Some(UnsupportedByBdd::Stateful(StatefulReason::WritesState {
+                        rule: i,
+                        state: s.clone(),
+                    }))
+                }
+                Action::RewriteSrc(_)
+                | Action::RewriteDst(_)
+                | Action::RewriteDstOneOf(_)
+                | Action::RewriteSrcPortFresh => {
+                    return Some(UnsupportedByBdd::RewritesHeader { rule: i })
+                }
+                Action::RestoreDstFromState(s) | Action::RespondFromState(s) => {
+                    return Some(UnsupportedByBdd::Stateful(StatefulReason::ReplaysState {
+                        rule: i,
+                        state: s.clone(),
+                    }))
+                }
+            }
+        }
+    }
+    if model.oracles.len() > MAX_ORACLES {
+        return Some(UnsupportedByBdd::TooManyOracles { count: model.oracles.len() });
+    }
+    None
+}
+
+fn first_guard_state(g: &Guard) -> Option<&str> {
+    match g {
+        Guard::Not(inner) => first_guard_state(inner),
+        Guard::And(gs) | Guard::Or(gs) => gs.iter().find_map(first_guard_state),
+        Guard::StateContains { state, .. } => Some(state),
+        _ => None,
+    }
+}
+
+/// Diagnostic severity. `Error` means the model's declarations are
+/// unsound to rely on (the verifier refuses such networks); `Warning`
+/// flags suspicious but sound constructs; `Info` points out missed
+/// optimisation opportunities.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    Info,
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One structured analysis finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    /// `type_name` of the model the finding is about.
+    pub model: String,
+    /// Rule index the finding anchors to, when rule-specific.
+    pub rule: Option<usize>,
+    /// Stable machine-readable code (e.g. `dead-arm`,
+    /// `parallelism-overclaim`).
+    pub code: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] model {:?}", self.severity, self.code, self.model)?;
+        if let Some(r) = self.rule {
+            write!(f, " rule {r}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Decision procedure for rule-arm reachability under first-match
+/// semantics: whether some packet (header bits, oracle valuation, state
+/// contents) satisfies `guard[arm] ∧ ¬guard[0] ∧ … ∧ ¬guard[arm-1]`.
+///
+/// Implementations must be sound for the `Some(false)` answer — an arm
+/// reported dead must be unreachable in every concrete execution.
+/// `vmn_bdd` provides the ROBDD-backed implementation; keeping the
+/// trait here lets that crate depend on this one without a cycle.
+pub trait ArmDecider {
+    /// `Some(true)` — satisfiable (the arm can fire); `Some(false)` —
+    /// provably dead; `None` — this model is out of scope for the
+    /// procedure.
+    fn arm_reachable(&mut self, model: &MboxModel, arm: usize) -> Option<bool>;
+}
+
+/// Everything the analysis derives from one model.
+#[derive(Clone, Debug)]
+pub struct ModelAnalysis {
+    /// `type_name` of the analysed model.
+    pub model: String,
+    /// Union of the per-rule footprints.
+    pub footprint: Footprint,
+    pub rule_footprints: Vec<Footprint>,
+    /// State sets read by guards or replay actions.
+    pub states_read: BTreeSet<String>,
+    /// State sets some rule inserts into.
+    pub states_written: BTreeSet<String>,
+    /// Declared state sets no rule reads or writes.
+    pub dead_states: Vec<String>,
+    /// Inferred statefulness: `None` when no reachable rule arm reads
+    /// live state or mutates state. Reads of never-written state are
+    /// vacuous (history-defined state starts empty) and do not count.
+    pub statefulness: Option<StatefulReason>,
+    /// The BDD backend's (more conservative) eligibility verdict.
+    pub bdd_blocker: Option<UnsupportedByBdd>,
+    pub declared_parallelism: Parallelism,
+    pub inferred_parallelism: Parallelism,
+    /// Rule arms that can never fire under first-match semantics,
+    /// ascending. Structural constant propagation always runs; an
+    /// [`ArmDecider`] (see [`analyze_with`]) refines it.
+    pub dead_arms: Vec<usize>,
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl ModelAnalysis {
+    /// Highest severity among the diagnostics, if any.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    pub fn has_errors(&self) -> bool {
+        self.max_severity() == Some(Severity::Error)
+    }
+}
+
+/// How strong a parallelism claim is: slicing may shrink networks more
+/// aggressively the higher the rank, so declaring a rank *above* the
+/// inferred one is unsound.
+fn rank(p: Parallelism) -> u8 {
+    match p {
+        Parallelism::General => 0,
+        Parallelism::OriginAgnostic => 1,
+        Parallelism::FlowParallel => 2,
+    }
+}
+
+/// Whether a state key can depend on the packet's source (and hence on
+/// *which* host installed or queries the entry). `Origin` and `DstAddr`
+/// keys are source-independent — the basis of the origin-agnostic
+/// class.
+fn key_depends_on_source(k: KeyExpr) -> bool {
+    match k {
+        KeyExpr::Flow | KeyExpr::SrcAddr | KeyExpr::SrcDst => true,
+        KeyExpr::Origin | KeyExpr::DstAddr => false,
+    }
+}
+
+fn guard_state_keys(g: &Guard, out: &mut Vec<(String, KeyExpr)>) {
+    match g {
+        Guard::Not(inner) => guard_state_keys(inner, out),
+        Guard::And(gs) | Guard::Or(gs) => gs.iter().for_each(|g| guard_state_keys(g, out)),
+        Guard::StateContains { state, key } => out.push((state.clone(), *key)),
+        _ => {}
+    }
+}
+
+fn guard_footprint(g: &Guard, out: &mut BTreeSet<Field>) {
+    match g {
+        Guard::True | Guard::Oracle(_) => {}
+        Guard::Not(inner) => guard_footprint(inner, out),
+        Guard::And(gs) | Guard::Or(gs) => gs.iter().for_each(|g| guard_footprint(g, out)),
+        Guard::SrcIn(_) | Guard::SrcIs(_) => {
+            out.insert(Field::Src);
+        }
+        Guard::DstIn(_) | Guard::DstIs(_) => {
+            out.insert(Field::Dst);
+        }
+        Guard::SrcPortIs(_) => {
+            out.insert(Field::SrcPort);
+        }
+        Guard::DstPortIs(_) => {
+            out.insert(Field::DstPort);
+        }
+        Guard::ProtoIs(_) => {
+            out.insert(Field::Proto);
+        }
+        Guard::OriginIn(_) | Guard::OriginIs(_) => {
+            out.insert(Field::Origin);
+        }
+        Guard::AclMatch(_) => {
+            out.extend([Field::Src, Field::Dst]);
+        }
+        Guard::StateContains { key, .. } => out.extend(key_fields(*key)),
+    }
+}
+
+/// Header fields a key expression reads.
+fn key_fields(k: KeyExpr) -> Vec<Field> {
+    match k {
+        KeyExpr::Flow => {
+            vec![Field::Src, Field::Dst, Field::SrcPort, Field::DstPort, Field::Proto]
+        }
+        KeyExpr::SrcAddr => vec![Field::Src],
+        KeyExpr::DstAddr => vec![Field::Dst],
+        KeyExpr::Origin => vec![Field::Origin],
+        KeyExpr::SrcDst => vec![Field::Src, Field::Dst],
+    }
+}
+
+const ALL_FIELDS: [Field; 7] = [
+    Field::Src,
+    Field::Dst,
+    Field::SrcPort,
+    Field::DstPort,
+    Field::Proto,
+    Field::Origin,
+    Field::Tag,
+];
+
+fn rule_footprint(model: &MboxModel, rule: usize) -> Footprint {
+    let mut fp = Footprint::default();
+    let arm = &model.rules[rule];
+    guard_footprint(&arm.guard, &mut fp.reads);
+    for action in &arm.actions {
+        match action {
+            Action::Forward | Action::Drop => {}
+            // Insert records the whole (pre-rewrite) packet plus the
+            // key computed from the current one.
+            Action::Insert(_) => fp.reads.extend(ALL_FIELDS),
+            Action::RewriteSrc(_) => {
+                fp.writes.insert(Field::Src);
+            }
+            Action::RewriteDst(_) | Action::RewriteDstOneOf(_) => {
+                fp.writes.insert(Field::Dst);
+            }
+            Action::RewriteSrcPortFresh => {
+                fp.writes.insert(Field::SrcPort);
+            }
+            // Flow-keyed lookup, then dst/dst-port replacement.
+            Action::RestoreDstFromState(_) => {
+                fp.reads.extend(key_fields(KeyExpr::Flow));
+                fp.writes.extend([Field::Dst, Field::DstPort]);
+            }
+            // Dst-keyed lookup; the response swaps endpoints and takes
+            // src/origin/tag from the remembered original.
+            Action::RespondFromState(_) => {
+                fp.reads.extend([Field::Src, Field::Dst, Field::SrcPort, Field::DstPort]);
+                fp.writes.extend([
+                    Field::Src,
+                    Field::Dst,
+                    Field::SrcPort,
+                    Field::DstPort,
+                    Field::Origin,
+                    Field::Tag,
+                ]);
+            }
+            Action::HavocTag => {
+                fp.writes.insert(Field::Tag);
+            }
+        }
+    }
+    fp
+}
+
+/// Constant-folds a guard given the set of state sets that are ever
+/// written: reads of never-written state are `false` (history-defined
+/// state starts empty and stays empty without inserts), ACL matches
+/// over empty pair lists are `false`. `None` when the value depends on
+/// the packet.
+fn guard_const(model: &MboxModel, g: &Guard, written: &BTreeSet<String>) -> Option<bool> {
+    match g {
+        Guard::True => Some(true),
+        Guard::Not(inner) => guard_const(model, inner, written).map(|b| !b),
+        Guard::And(gs) => {
+            let vals: Vec<Option<bool>> =
+                gs.iter().map(|g| guard_const(model, g, written)).collect();
+            if vals.contains(&Some(false)) {
+                Some(false)
+            } else if vals.iter().all(|v| *v == Some(true)) {
+                Some(true)
+            } else {
+                None
+            }
+        }
+        Guard::Or(gs) => {
+            let vals: Vec<Option<bool>> =
+                gs.iter().map(|g| guard_const(model, g, written)).collect();
+            if vals.contains(&Some(true)) {
+                Some(true)
+            } else if vals.iter().all(|v| *v == Some(false)) {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        Guard::AclMatch(name) => match model.acl_pairs(name) {
+            Some([]) => Some(false),
+            _ => None,
+        },
+        Guard::StateContains { state, .. } if !written.contains(state) => Some(false),
+        _ => None,
+    }
+}
+
+/// Structural dead-arm pass: an arm is dead when its guard constant-
+/// folds to `false`, or when an earlier arm's guard constant-folds to
+/// `true` (first match wins).
+fn structural_dead_arms(model: &MboxModel, written: &BTreeSet<String>) -> Vec<usize> {
+    let mut dead = Vec::new();
+    let mut shadowed = false;
+    for (i, arm) in model.rules.iter().enumerate() {
+        let c = guard_const(model, &arm.guard, written);
+        if shadowed || c == Some(false) {
+            dead.push(i);
+        }
+        if c == Some(true) {
+            shadowed = true;
+        }
+    }
+    dead
+}
+
+/// Analyses `model` structurally (no decision procedure: dead arms come
+/// from constant propagation only).
+pub fn analyze(model: &MboxModel) -> ModelAnalysis {
+    analyze_impl(model, None)
+}
+
+/// Analyses `model`, refining dead-arm detection with `decider` — in
+/// practice the ROBDD-backed guard-subsumption procedure from
+/// `vmn_bdd`.
+pub fn analyze_with(model: &MboxModel, decider: &mut dyn ArmDecider) -> ModelAnalysis {
+    analyze_impl(model, Some(decider))
+}
+
+fn analyze_impl(model: &MboxModel, mut decider: Option<&mut dyn ArmDecider>) -> ModelAnalysis {
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let diag = |diagnostics: &mut Vec<Diagnostic>,
+                severity: Severity,
+                rule: Option<usize>,
+                code: &'static str,
+                message: String| {
+        diagnostics.push(Diagnostic {
+            severity,
+            model: model.type_name.clone(),
+            rule,
+            code,
+            message,
+        });
+    };
+
+    // State read/write sets. Guards and replay actions read; inserts
+    // write.
+    let mut states_read: BTreeSet<String> = BTreeSet::new();
+    let mut states_written: BTreeSet<String> = BTreeSet::new();
+    for arm in &model.rules {
+        let mut reads = Vec::new();
+        guard_state_keys(&arm.guard, &mut reads);
+        states_read.extend(reads.into_iter().map(|(s, _)| s));
+        for action in &arm.actions {
+            match action {
+                Action::Insert(s) => {
+                    states_written.insert(s.clone());
+                }
+                Action::RestoreDstFromState(s) | Action::RespondFromState(s) => {
+                    states_read.insert(s.clone());
+                }
+                _ => {}
+            }
+        }
+    }
+    let dead_states: Vec<String> = model
+        .states
+        .iter()
+        .map(|s| s.name.clone())
+        .filter(|s| !states_read.contains(s) && !states_written.contains(s))
+        .collect();
+    for s in &dead_states {
+        diag(
+            &mut diagnostics,
+            Severity::Warning,
+            None,
+            "dead-state",
+            format!("declared state {s:?} is never read or written"),
+        );
+    }
+    for s in &states_written {
+        if !states_read.contains(s) {
+            diag(
+                &mut diagnostics,
+                Severity::Info,
+                None,
+                "write-only-state",
+                format!("state {s:?} is written but never read; inserts cannot affect forwarding"),
+            );
+        }
+    }
+
+    // Per-rule vacuous reads and replays of provably-empty state.
+    for (i, arm) in model.rules.iter().enumerate() {
+        let mut reads = Vec::new();
+        guard_state_keys(&arm.guard, &mut reads);
+        for (s, _) in reads {
+            if !states_written.contains(&s) {
+                diag(
+                    &mut diagnostics,
+                    Severity::Warning,
+                    Some(i),
+                    "vacuous-state-read",
+                    format!(
+                        "guard reads state {s:?} which no rule writes; the read is always false"
+                    ),
+                );
+            }
+        }
+        for action in &arm.actions {
+            if let Action::RestoreDstFromState(s) | Action::RespondFromState(s) = action {
+                if !states_written.contains(s) {
+                    diag(
+                        &mut diagnostics,
+                        Severity::Warning,
+                        Some(i),
+                        "vacuous-state-replay",
+                        format!("replays state {s:?} which no rule writes; the replay never fires"),
+                    );
+                }
+            }
+        }
+    }
+
+    // Dead arms: structural constant propagation, refined per arm by
+    // the decision procedure when one is supplied.
+    let structural: BTreeSet<usize> =
+        structural_dead_arms(model, &states_written).into_iter().collect();
+    let mut dead_arms: Vec<usize> = Vec::new();
+    for i in 0..model.rules.len() {
+        let dead = if structural.contains(&i) {
+            true
+        } else {
+            match decider.as_deref_mut().and_then(|d| d.arm_reachable(model, i)) {
+                Some(reachable) => !reachable,
+                None => false,
+            }
+        };
+        if dead {
+            dead_arms.push(i);
+            diag(
+                &mut diagnostics,
+                Severity::Warning,
+                Some(i),
+                "dead-arm",
+                "arm can never fire: its guard is unsatisfiable under first-match semantics"
+                    .to_string(),
+            );
+        }
+    }
+
+    // Inferred statefulness over non-dead arms: the first read of live
+    // state, insert, or replay, in rule order. Vacuous reads are
+    // covered by the diagnostics above instead.
+    let mut statefulness: Option<StatefulReason> = None;
+    'rules: for (i, arm) in model.rules.iter().enumerate() {
+        if dead_arms.contains(&i) {
+            continue;
+        }
+        let mut reads = Vec::new();
+        guard_state_keys(&arm.guard, &mut reads);
+        if let Some((s, _)) = reads.into_iter().find(|(s, _)| states_written.contains(s)) {
+            statefulness = Some(StatefulReason::ReadsState { rule: i, state: s });
+            break 'rules;
+        }
+        for action in &arm.actions {
+            match action {
+                Action::Insert(s) => {
+                    statefulness = Some(StatefulReason::WritesState { rule: i, state: s.clone() });
+                    break 'rules;
+                }
+                Action::RestoreDstFromState(s) | Action::RespondFromState(s) => {
+                    statefulness = Some(StatefulReason::ReplaysState { rule: i, state: s.clone() });
+                    break 'rules;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Inferred parallelism: collect every key through which live arms
+    // touch state — guard read keys, the declared key at insertion, and
+    // the fixed lookup keys of the replay actions (flow for restore,
+    // dst-addr for respond) plus the declared key of the replayed set
+    // (its entries were stored under that key).
+    let mut keys: Vec<KeyExpr> = Vec::new();
+    let decl_key = |s: &str| model.state_decl(s).map(|d| d.key);
+    for (i, arm) in model.rules.iter().enumerate() {
+        if dead_arms.contains(&i) {
+            continue;
+        }
+        let mut reads = Vec::new();
+        guard_state_keys(&arm.guard, &mut reads);
+        for (s, k) in reads {
+            if states_written.contains(&s) {
+                keys.push(k);
+                keys.extend(decl_key(&s));
+            }
+        }
+        for action in &arm.actions {
+            match action {
+                Action::Insert(s) => keys.extend(decl_key(s)),
+                Action::RestoreDstFromState(s) => {
+                    keys.push(KeyExpr::Flow);
+                    keys.extend(decl_key(s));
+                }
+                Action::RespondFromState(s) => {
+                    keys.push(KeyExpr::DstAddr);
+                    keys.extend(decl_key(s));
+                }
+                _ => {}
+            }
+        }
+    }
+    let inferred_parallelism = if keys.iter().all(|&k| k == KeyExpr::Flow) {
+        Parallelism::FlowParallel
+    } else if keys.iter().filter(|&&k| k != KeyExpr::Flow).all(|&k| !key_depends_on_source(k)) {
+        Parallelism::OriginAgnostic
+    } else {
+        Parallelism::General
+    };
+
+    // Annotation soundness: declaring a class stronger than the
+    // inferred one lets slicing shrink the network on an assumption the
+    // model violates — an error; declaring a weaker class is sound but
+    // leaves slice reductions on the table — an info.
+    match rank(model.parallelism).cmp(&rank(inferred_parallelism)) {
+        std::cmp::Ordering::Greater => diag(
+            &mut diagnostics,
+            Severity::Error,
+            None,
+            "parallelism-overclaim",
+            format!(
+                "declared {:?} but state keying only supports {:?}; \
+                 slices built on the declared class would be unsound",
+                model.parallelism, inferred_parallelism
+            ),
+        ),
+        std::cmp::Ordering::Less => diag(
+            &mut diagnostics,
+            Severity::Info,
+            None,
+            "parallelism-underclaim",
+            format!(
+                "declared {:?} but the model is {:?}; the stronger class would allow \
+                 smaller slices",
+                model.parallelism, inferred_parallelism
+            ),
+        ),
+        std::cmp::Ordering::Equal => {}
+    }
+
+    let rule_footprints: Vec<Footprint> =
+        (0..model.rules.len()).map(|i| rule_footprint(model, i)).collect();
+    let mut footprint = Footprint::default();
+    for fp in &rule_footprints {
+        footprint.union(fp);
+    }
+
+    ModelAnalysis {
+        model: model.type_name.clone(),
+        footprint,
+        rule_footprints,
+        states_read,
+        states_written,
+        dead_states,
+        statefulness,
+        bdd_blocker: bdd_support(model),
+        declared_parallelism: model.parallelism,
+        inferred_parallelism,
+        dead_arms,
+        diagnostics,
+    }
+}
+
+/// The annotation-soundness gate: the first error-severity diagnostic
+/// for `model`, if any. The verifier runs this on every model before
+/// building slices; a declared parallelism class stronger than the
+/// inferred one is rejected here instead of silently producing an
+/// unsound slice.
+pub fn annotation_error(model: &MboxModel) -> Option<Diagnostic> {
+    analyze(model).diagnostics.into_iter().find(|d| d.severity == Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmn_mbox::models;
+    use vmn_net::{Address, Prefix};
+
+    fn px(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn addr(s: &str) -> Address {
+        s.parse().unwrap()
+    }
+
+    /// Every builder in the model library, with representative
+    /// (non-degenerate) configurations.
+    fn library() -> Vec<MboxModel> {
+        vec![
+            models::learning_firewall("fw", vec![(px("10.0.0.0/8"), px("10.0.0.0/8"))]),
+            models::acl_firewall("acl-fw", vec![(px("10.0.0.0/8"), px("10.0.0.0/8"))]),
+            models::nat("nat", px("10.0.0.0/8"), addr("1.2.3.4")),
+            models::load_balancer("lb", addr("10.0.0.100"), vec![addr("10.0.0.1")]),
+            models::idps("idps"),
+            models::ids_monitor("ids"),
+            models::scrubber("sb"),
+            models::content_cache(
+                "cache",
+                [px("10.1.0.0/16")],
+                vec![(px("10.3.0.0/16"), px("10.1.0.0/16"))],
+            ),
+            models::application_firewall("appfw", &["skype?"], &["skype?", "jabber?"]),
+            models::wan_optimizer("wanopt"),
+            models::gateway("gw"),
+            models::security_group_firewall("sg", vec![(px("10.0.0.0/8"), px("10.0.0.0/8"))]),
+        ]
+    }
+
+    #[test]
+    fn inferred_facts_agree_with_declared_annotations() {
+        for m in library() {
+            let a = analyze(&m);
+            assert_eq!(
+                a.inferred_parallelism, m.parallelism,
+                "{}: inferred parallelism must match the declaration",
+                m.type_name
+            );
+            assert!(
+                a.diagnostics.is_empty(),
+                "{}: library models must lint clean, got {:?}",
+                m.type_name,
+                a.diagnostics
+            );
+            assert!(annotation_error(&m).is_none(), "{}", m.type_name);
+        }
+    }
+
+    #[test]
+    fn statefulness_matches_the_bdd_classifier_across_the_library() {
+        // The unified-verdict satellite: for every library model, the
+        // semantic statefulness and the BDD eligibility classifier
+        // agree on the state dimension (the BDD verdict additionally
+        // rejects header rewrites — the load balancer).
+        for m in library() {
+            let a = analyze(&m);
+            let expect_stateful = matches!(m.type_name.as_str(), "fw" | "nat" | "cache" | "sg");
+            assert_eq!(
+                a.statefulness.is_some(),
+                expect_stateful,
+                "{}: statefulness verdict",
+                m.type_name
+            );
+            let bdd_rejects = matches!(m.type_name.as_str(), "fw" | "nat" | "cache" | "sg" | "lb");
+            assert_eq!(
+                bdd_support(&m).is_some(),
+                bdd_rejects,
+                "{}: bdd eligibility verdict",
+                m.type_name
+            );
+            // The state-driven part of both classifiers is identical.
+            if a.statefulness.is_some() {
+                assert!(matches!(a.bdd_blocker, Some(UnsupportedByBdd::Stateful(_))));
+            }
+        }
+    }
+
+    #[test]
+    fn footprints_cover_reads_and_writes() {
+        let nat = models::nat("nat", px("10.0.0.0/8"), addr("1.2.3.4"));
+        let a = analyze(&nat);
+        // NAT rewrites src + src-port outbound and dst + dst-port on
+        // the restore path.
+        for f in [Field::Src, Field::SrcPort, Field::Dst, Field::DstPort] {
+            assert!(a.footprint.writes.contains(&f), "nat must write {f}");
+        }
+        assert!(!a.footprint.writes.contains(&Field::Tag));
+
+        let acl = models::acl_firewall("aclfw", vec![(px("10.0.0.0/8"), px("10.0.0.0/8"))]);
+        let a = analyze(&acl);
+        assert_eq!(
+            a.footprint.reads.iter().copied().collect::<Vec<_>>(),
+            vec![Field::Src, Field::Dst]
+        );
+        assert!(a.footprint.writes.is_empty(), "pure filters write nothing");
+
+        let wan = models::wan_optimizer("wan");
+        let a = analyze(&wan);
+        assert_eq!(a.footprint.writes.iter().copied().collect::<Vec<_>>(), vec![Field::Tag]);
+    }
+
+    #[test]
+    fn state_liveness_classification() {
+        // Declared-but-unused state is dead; written-but-never-read is
+        // write-only; read-but-never-written reads are vacuous.
+        let m = MboxModel::new("m")
+            .state("unused", KeyExpr::Flow)
+            .state("writeonly", KeyExpr::Flow)
+            .state("phantom", KeyExpr::Flow)
+            .rule(
+                Guard::StateContains { state: "phantom".into(), key: KeyExpr::Flow },
+                vec![Action::Forward],
+            )
+            .rule(Guard::True, vec![Action::Insert("writeonly".into()), Action::Forward]);
+        assert!(m.validate().is_ok());
+        let a = analyze(&m);
+        assert_eq!(a.dead_states, vec!["unused".to_string()]);
+        assert!(a.diagnostics.iter().any(|d| d.code == "write-only-state"));
+        assert!(a.diagnostics.iter().any(|d| d.code == "vacuous-state-read" && d.rule == Some(0)));
+        // The phantom read is vacuous, so arm 0 is structurally dead —
+        // and the model's only state interaction left is the insert.
+        assert_eq!(a.dead_arms, vec![0]);
+        assert!(matches!(a.statefulness, Some(StatefulReason::WritesState { rule: 1, .. })));
+    }
+
+    #[test]
+    fn structural_dead_arms_from_constant_folding() {
+        // Arms after an always-true guard are shadowed; empty-ACL
+        // matches never fire.
+        let m = MboxModel::new("m")
+            .acl("empty", vec![])
+            .rule(Guard::AclMatch("empty".into()), vec![Action::Forward])
+            .rule(Guard::True, vec![Action::Forward])
+            .rule(Guard::SrcIn(px("10.0.0.0/8")), vec![Action::Drop]);
+        let a = analyze(&m);
+        assert_eq!(a.dead_arms, vec![0, 2]);
+        assert!(a.statefulness.is_none());
+    }
+
+    #[test]
+    fn parallelism_inference_by_key_shape() {
+        // Flow-keyed state everywhere: flow-parallel.
+        let fp = models::learning_firewall("fw", vec![(px("10.0.0.0/8"), px("10.0.0.0/8"))]);
+        assert_eq!(analyze(&fp).inferred_parallelism, Parallelism::FlowParallel);
+
+        // Origin-keyed state read by destination address: the content
+        // cache's shape — origin-agnostic.
+        let oa = models::content_cache("cache", [px("10.1.0.0/16")], vec![]);
+        assert_eq!(analyze(&oa).inferred_parallelism, Parallelism::OriginAgnostic);
+
+        // Source-keyed shared state: no structure slicing can use.
+        let general = MboxModel::new("tracker")
+            .parallelism(Parallelism::General)
+            .state("seen", KeyExpr::SrcAddr)
+            .rule(
+                Guard::StateContains { state: "seen".into(), key: KeyExpr::SrcAddr },
+                vec![Action::Drop],
+            )
+            .rule(Guard::True, vec![Action::Insert("seen".into()), Action::Forward]);
+        assert!(general.validate().is_ok());
+        assert_eq!(analyze(&general).inferred_parallelism, Parallelism::General);
+    }
+
+    #[test]
+    fn overclaimed_parallelism_is_an_error() {
+        // The acceptance-criteria mutant: declared FlowParallel with a
+        // shared-key state written on the forwarding path.
+        let m = MboxModel::new("bad")
+            .parallelism(Parallelism::FlowParallel)
+            .state("seen", KeyExpr::SrcAddr)
+            .rule(Guard::True, vec![Action::Insert("seen".into()), Action::Forward]);
+        assert!(m.validate().is_ok(), "the mutant is IR-valid; only the annotation is wrong");
+        let a = analyze(&m);
+        assert_eq!(a.inferred_parallelism, Parallelism::General);
+        let err = annotation_error(&m).expect("overclaim must be an error");
+        assert_eq!(err.code, "parallelism-overclaim");
+        assert_eq!(err.severity, Severity::Error);
+
+        // Declaring OriginAgnostic for a general model is equally
+        // unsound; declaring General for a flow-parallel one is only a
+        // missed optimisation.
+        let mut oa = m.clone();
+        oa.parallelism = Parallelism::OriginAgnostic;
+        assert!(annotation_error(&oa).is_some());
+
+        let under = models::acl_firewall("aclfw", vec![(px("10.0.0.0/8"), px("10.0.0.0/8"))])
+            .parallelism(Parallelism::General);
+        assert!(annotation_error(&under).is_none());
+        let a = analyze(&under);
+        assert!(a
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "parallelism-underclaim" && d.severity == Severity::Info));
+    }
+
+    #[test]
+    fn decider_refines_dead_arm_detection() {
+        // A decider that proclaims arm 1 dead; the structural pass
+        // alone cannot see it (the guard is not constant).
+        struct Fixed;
+        impl ArmDecider for Fixed {
+            fn arm_reachable(&mut self, _m: &MboxModel, arm: usize) -> Option<bool> {
+                Some(arm != 1)
+            }
+        }
+        let m = MboxModel::new("m")
+            .rule(Guard::SrcIn(px("10.0.0.0/8")), vec![Action::Forward])
+            .rule(Guard::SrcIn(px("10.0.0.0/16")), vec![Action::Drop])
+            .rule(Guard::True, vec![Action::Drop]);
+        assert!(analyze(&m).dead_arms.is_empty());
+        let a = analyze_with(&m, &mut Fixed);
+        assert_eq!(a.dead_arms, vec![1]);
+        assert!(a.diagnostics.iter().any(|d| d.code == "dead-arm" && d.rule == Some(1)));
+    }
+
+    #[test]
+    fn bdd_support_reasons_are_typed() {
+        let fw = models::learning_firewall("fw", vec![]);
+        assert!(matches!(
+            bdd_support(&fw),
+            Some(UnsupportedByBdd::Stateful(StatefulReason::ReadsState { rule: 0, .. }))
+        ));
+        let lb = models::load_balancer("lb", addr("10.0.0.9"), vec![addr("10.0.0.1")]);
+        assert!(matches!(bdd_support(&lb), Some(UnsupportedByBdd::RewritesHeader { rule: 0 })));
+        let mut many = MboxModel::new("oracular");
+        for i in 0..=MAX_ORACLES {
+            many = many.oracle(format!("o{i}?"));
+        }
+        many = many.rule(Guard::True, vec![Action::Forward]);
+        assert!(matches!(
+            bdd_support(&many),
+            Some(UnsupportedByBdd::TooManyOracles { count }) if count == MAX_ORACLES + 1
+        ));
+    }
+}

@@ -49,10 +49,6 @@ const ORACLE_BASE: u32 = 96;
 /// below the range reserved for fresh NAT rewrites.
 const EPHEMERAL_BASE: u16 = 32768;
 
-/// Witness reconstruction enumerates oracle valuations exhaustively, so
-/// transfer compilation refuses models beyond this many oracles.
-const MAX_ORACLES: usize = 16;
-
 /// Scenario identity for the delivery cache (`FailureScenario` itself is
 /// not hashable).
 type ScenarioKey = (Vec<NodeId>, Vec<Link>);
@@ -64,44 +60,15 @@ fn scenario_key(s: &FailureScenario) -> ScenarioKey {
 /// Why `model` cannot be handled by the BDD backend, or `None` if it is
 /// a pure forwarding/ACL/classification box.
 ///
-/// Conservative by construction: every state read and every
-/// packet-rewriting action disqualifies, because a transfer *predicate*
-/// can express neither history dependence nor header modification.
-/// `HavocTag` is allowed — the payload tag is not part of the reachable
-/// header space.
-pub fn statefulness(model: &MboxModel) -> Option<String> {
-    fn guard_state(g: &Guard) -> Option<&str> {
-        match g {
-            Guard::Not(inner) => guard_state(inner),
-            Guard::And(gs) | Guard::Or(gs) => gs.iter().find_map(guard_state),
-            Guard::StateContains { state, .. } => Some(state),
-            _ => None,
-        }
-    }
-    for (i, rule) in model.rules.iter().enumerate() {
-        if let Some(state) = guard_state(&rule.guard) {
-            return Some(format!("rule {i} reads state set {state:?}"));
-        }
-        for action in &rule.actions {
-            match action {
-                Action::Forward | Action::Drop | Action::HavocTag => {}
-                Action::Insert(s) => return Some(format!("rule {i} inserts into state {s:?}")),
-                Action::RewriteSrc(_)
-                | Action::RewriteDst(_)
-                | Action::RewriteDstOneOf(_)
-                | Action::RewriteSrcPortFresh => {
-                    return Some(format!("rule {i} rewrites the packet header"))
-                }
-                Action::RestoreDstFromState(s) | Action::RespondFromState(s) => {
-                    return Some(format!("rule {i} replays state {s:?}"))
-                }
-            }
-        }
-    }
-    if model.oracles.len() > MAX_ORACLES {
-        return Some(format!("{} oracles exceed the backend limit", model.oracles.len()));
-    }
-    None
+/// A thin delegate to [`vmn_analysis::bdd_support`] — the analysis
+/// crate owns the classification so the slice router, the lint pass,
+/// and this backend can never disagree. Conservative by construction:
+/// every state read and every packet-rewriting action disqualifies,
+/// because a transfer *predicate* can express neither history
+/// dependence nor header modification. `HavocTag` is allowed — the
+/// payload tag is not part of the reachable header space.
+pub fn statefulness(model: &MboxModel) -> Option<vmn_analysis::UnsupportedByBdd> {
+    vmn_analysis::bdd_support(model)
 }
 
 /// Errors from the BDD dataplane backend.
@@ -587,7 +554,11 @@ fn forwarding_valuation(
     header: &Header,
 ) -> Option<(usize, HashMap<String, bool>)> {
     let n = model.oracles.len();
-    debug_assert!(n <= MAX_ORACLES, "transfer compilation admits at most {MAX_ORACLES} oracles");
+    debug_assert!(
+        n <= vmn_analysis::MAX_ORACLES,
+        "transfer compilation admits at most {} oracles",
+        vmn_analysis::MAX_ORACLES
+    );
     'mask: for mask in 0..(1u32 << n) {
         let vals: HashMap<String, bool> = model
             .oracles

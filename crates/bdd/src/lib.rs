@@ -22,8 +22,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod arms;
 pub mod dataplane;
 
+pub use arms::BddArmDecider;
 pub use dataplane::{Dataplane, DataplaneError, Hop, Outcome, Query, Witness};
 
 use std::collections::HashMap;

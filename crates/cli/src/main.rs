@@ -1,15 +1,19 @@
 //! `vmn` — verify reachability invariants in a network described by a
-//! `.vmn` file, or validate a stored certificate bundle.
+//! `.vmn` file, validate a stored certificate bundle, or statically
+//! lint middlebox models.
 //!
 //! ```console
 //! $ vmn check network.vmn [--whole-network] [--threads N] [--trace]
 //!                         [--cluster-threshold F] [--certificate OUT]
 //! $ vmn check run.cert          # first line `vmn-cert v1`: trusted check
+//! $ vmn lint network.vmn        # per-middlebox static-analysis report
+//! $ vmn lint --estates          # lint the built-in scenario estates
 //! ```
 //!
 //! Exit code 0 when every invariant that should hold holds (or every
-//! certificate is accepted); 1 when any invariant is violated (or any
-//! certificate is rejected); 2 on usage or parse errors.
+//! certificate is accepted, or no lint diagnostic reaches error
+//! severity); 1 when any invariant is violated (or any certificate or
+//! model is rejected); 2 on usage or parse errors.
 
 #![forbid(unsafe_code)]
 
@@ -39,9 +43,127 @@ fn usage() -> ExitCode {
          \n\
          With a stored certificate bundle (first line `vmn-cert v1`),\n\
          runs the independent trusted checker on it instead: exit 0 if\n\
-         every bundle is accepted, 1 if any is rejected."
+         every bundle is accepted, 1 if any is rejected.\n\
+         \n\
+         vmn lint <file> | --estates\n\
+         \n\
+         Statically analyses every middlebox model: header-field\n\
+         footprints, state liveness, inferred statefulness and\n\
+         parallelism (checked against the declared annotations), and\n\
+         dead rule arms proven with the ROBDD engine. --estates lints\n\
+         the built-in scenario estates instead of a file. Exit 1 when\n\
+         any diagnostic reaches error severity."
     );
     ExitCode::from(2)
+}
+
+/// `vmn lint`: static analysis over every middlebox model of a network
+/// — or of the built-in scenario estates with `--estates`. No solver
+/// session runs; dead arms are decided by the ROBDD engine alone.
+fn lint_main(args: &[String]) -> ExitCode {
+    let mut file = None;
+    let mut estates = false;
+    for a in args {
+        match a.as_str() {
+            "--estates" => estates = true,
+            s if !s.starts_with('-') && file.is_none() => file = Some(s.to_string()),
+            _ => return usage(),
+        }
+    }
+    // (label, network) pairs to lint.
+    let mut nets: Vec<(String, vmn::Network)> = Vec::new();
+    match (estates, file) {
+        (true, None) => {
+            use vmn_scenarios::{
+                data_isolation::{DataIsolation, DataIsolationParams},
+                datacenter::{Datacenter, DatacenterParams},
+                enterprise::{Enterprise, EnterpriseParams},
+                isp::{Isp, IspParams},
+                multi_tenant::{MultiTenant, MultiTenantParams},
+            };
+            nets.push(("datacenter".into(), Datacenter::build(DatacenterParams::default()).net));
+            nets.push((
+                "data-isolation".into(),
+                DataIsolation::build(DataIsolationParams::default()).net,
+            ));
+            nets.push(("enterprise".into(), Enterprise::build(EnterpriseParams::default()).net));
+            nets.push(("isp".into(), Isp::build(IspParams::default()).net));
+            nets.push((
+                "multi-tenant".into(),
+                MultiTenant::build(MultiTenantParams::default()).net,
+            ));
+        }
+        (false, Some(f)) => {
+            let text = match std::fs::read_to_string(&f) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("vmn: cannot read {f}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match config::parse(&text) {
+                Ok(cfg) => nets.push((f, cfg.net)),
+                Err(e) => {
+                    eprintln!("vmn: {f}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        _ => return usage(),
+    }
+
+    let mut errors = 0usize;
+    let mut models_seen = 0usize;
+    for (label, net) in &nets {
+        // Topology order keeps the report deterministic.
+        let mut boxes: Vec<_> = net.models.keys().copied().collect();
+        boxes.sort();
+        for n in boxes {
+            let model = &net.models[&n];
+            let a = vmn::analysis::analyze_with(model, &mut vmn_bdd::BddArmDecider);
+            models_seen += 1;
+            println!("{label} / {} (model {:?})", net.topo.node(n).name, model.type_name);
+            match &a.statefulness {
+                Some(r) => println!("  stateful: {r}"),
+                None => println!("  stateless"),
+            }
+            match &a.bdd_blocker {
+                Some(b) => println!("  backend: smt ({b})"),
+                None => println!("  backend: bdd-eligible"),
+            }
+            println!(
+                "  parallelism: declared {:?}, inferred {:?}",
+                a.declared_parallelism, a.inferred_parallelism
+            );
+            println!("  header footprint: {}", a.footprint);
+            if !a.states_read.is_empty() || !a.states_written.is_empty() {
+                let join = |s: &std::collections::BTreeSet<String>| {
+                    if s.is_empty() {
+                        "(none)".to_string()
+                    } else {
+                        s.iter().cloned().collect::<Vec<_>>().join(", ")
+                    }
+                };
+                println!(
+                    "  state: reads {}; writes {}",
+                    join(&a.states_read),
+                    join(&a.states_written)
+                );
+            }
+            for d in &a.diagnostics {
+                if d.severity == vmn::analysis::Severity::Error {
+                    errors += 1;
+                }
+                println!("  {d}");
+            }
+        }
+    }
+    println!("{models_seen} models across {} networks: {errors} errors", nets.len());
+    if errors > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// Trusted-checker mode: validate every bundle in a stored certificate
@@ -98,6 +220,7 @@ fn main() -> ExitCode {
     let mut it = args.iter();
     match it.next().map(String::as_str) {
         Some("check") => {}
+        Some("lint") => return lint_main(&args[1..]),
         _ => return usage(),
     }
     while let Some(a) = it.next() {

@@ -60,6 +60,12 @@ impl MboxState {
     pub fn is_empty(&self) -> bool {
         self.sets.values().all(Vec::is_empty)
     }
+
+    /// Every (set name, entries) pair — static analysis cross-checks
+    /// observed key shapes against inferred parallelism.
+    pub fn sets(&self) -> impl Iterator<Item = (&str, &[(KeyVal, Header)])> {
+        self.sets.iter().map(|(n, v)| (n.as_str(), v.as_slice()))
+    }
 }
 
 /// Source of the nondeterministic choices a model can make.

@@ -222,6 +222,13 @@ impl<'a> Simulator<'a> {
         self.run_to_quiescence(1000)
     }
 
+    /// Read access to a middlebox's accumulated state (used by the
+    /// differential fuzzer to cross-check static-analysis verdicts
+    /// against concrete executions).
+    pub fn mbox_state(&self, m: NodeId) -> Option<&MboxState> {
+        self.states.get(&m)
+    }
+
     /// Whether `host` ever received a packet satisfying `pred`.
     pub fn host_received<F>(&self, host: NodeId, mut pred: F) -> bool
     where

@@ -1012,6 +1012,59 @@ mod engine_tests {
     }
 
     #[test]
+    fn mis_annotated_model_is_rejected_at_construction() {
+        // Declared FlowParallel but writes a shared (src-keyed) state
+        // set on the forwarding path: slicing would trust the claim and
+        // build an unsound slice, so Verifier::new must refuse the
+        // network with a clean error.
+        use vmn_mbox::{Action, Guard, KeyExpr, MboxModel, Parallelism};
+        let mut topo = Topology::new();
+        let src = topo.add_host("src", "8.8.8.8".parse().unwrap());
+        let dst = topo.add_host("dst", "10.0.0.5".parse().unwrap());
+        let sw = topo.add_switch("sw");
+        let mb = topo.add_middlebox("mb", "tracker", vec![]);
+        for n in [src, dst, mb] {
+            topo.add_link(n, sw);
+        }
+        let mut rc = RoutingConfig::new();
+        rc.host_routes(&topo);
+        let mut tables = rc.build(&topo, &vmn_net::FailureScenario::none());
+        tables.add_rule(sw, Rule::from_neighbor(px("10.0.0.0/8"), src, mb).with_priority(20));
+        let mut net = Network::new(topo, tables);
+        let mutant = MboxModel::new("tracker")
+            .parallelism(Parallelism::FlowParallel)
+            .state("seen", KeyExpr::SrcAddr)
+            .rule(
+                Guard::StateContains { state: "seen".into(), key: KeyExpr::SrcAddr },
+                vec![Action::Forward],
+            )
+            .rule(Guard::True, vec![Action::Insert("seen".into()), Action::Forward]);
+        net.set_model(mb, mutant);
+        let err = Verifier::new(&net, VerifyOptions::default())
+            .map(|_| ())
+            .expect_err("the overclaimed annotation must be rejected");
+        match err {
+            VerifyError::InvalidNetwork(msg) => {
+                assert!(msg.contains("parallelism-overclaim"), "unexpected message: {msg}");
+                assert!(msg.contains("\"mb\""), "names the offending middlebox: {msg}");
+            }
+            other => panic!("expected InvalidNetwork, got {other}"),
+        }
+
+        // Fixing the annotation makes the same network verifiable.
+        let honest = MboxModel::new("tracker")
+            .parallelism(Parallelism::General)
+            .state("seen", KeyExpr::SrcAddr)
+            .rule(
+                Guard::StateContains { state: "seen".into(), key: KeyExpr::SrcAddr },
+                vec![Action::Forward],
+            )
+            .rule(Guard::True, vec![Action::Insert("seen".into()), Action::Forward]);
+        net.set_model(mb, honest);
+        assert!(Verifier::new(&net, VerifyOptions::default()).is_ok());
+    }
+
+    #[test]
     fn pipeline_holds_with_backup_steering() {
         let (net, src, dst) = pipelined(true);
         let v = Verifier::new(&net, VerifyOptions::default()).unwrap();

@@ -71,6 +71,10 @@ pub use invariant::Invariant;
 pub use network::Network;
 pub use policy::PolicyClasses;
 pub use trace::{StepKind, Trace, TraceStep};
+/// Model static analysis (re-exported): inferred statefulness /
+/// parallelism, footprints, dead-arm diagnostics, and the
+/// annotation-soundness gate [`Network::validate`] runs per model.
+pub use vmn_analysis as analysis;
 /// The trusted certificate checker (re-exported): validates the
 /// [`Report::certificate`] bundles produced under
 /// [`VerifyOptions::emit_proofs`] without touching any solver code.

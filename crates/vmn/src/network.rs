@@ -55,11 +55,17 @@ impl Network {
         out
     }
 
-    /// Checks that every middlebox has a model.
+    /// Checks that every middlebox has a model and that no model's
+    /// declared annotations overclaim what static analysis can infer
+    /// from its rules — slicing trusts the declarations, so an
+    /// overclaimed `Parallelism` would silently produce unsound slices.
     pub fn validate(&self) -> Result<(), String> {
         for m in self.topo.middleboxes() {
-            if !self.models.contains_key(&m) {
+            let Some(model) = self.models.get(&m) else {
                 return Err(format!("middlebox {:?} has no model", self.topo.node(m).name));
+            };
+            if let Some(d) = vmn_analysis::annotation_error(model) {
+                return Err(format!("middlebox {:?}: {d}", self.topo.node(m).name));
             }
         }
         Ok(())

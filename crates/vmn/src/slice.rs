@@ -118,7 +118,7 @@ pub fn first_stateful_middlebox(
     slice.iter().copied().find(|&n| {
         net.topo.node(n).kind.is_middlebox()
             && !scenario.is_failed(n)
-            && net.models.get(&n).is_none_or(|m| vmn_bdd::dataplane::statefulness(m).is_some())
+            && net.models.get(&n).is_none_or(|m| vmn_analysis::bdd_support(m).is_some())
     })
 }
 

@@ -33,9 +33,12 @@
 
 use proptest::prelude::*;
 use proptest::test_runner::TestRng;
+use std::collections::HashMap;
 use vmn::{Invariant, Network, Verdict, Verifier, VerifyOptions};
+use vmn_mbox::exec::KeyVal;
 use vmn_mbox::models;
-use vmn_net::{Address, FailureScenario, NodeId, Prefix, RoutingConfig, Rule, Topology};
+use vmn_net::{Address, FailureScenario, Header, NodeId, Prefix, RoutingConfig, Rule, Topology};
+use vmn_sim::Simulator;
 
 fn fuzz_cases() -> u32 {
     match std::env::var("VMN_FUZZ_CASES") {
@@ -257,10 +260,76 @@ fn assert_certificate_checks(report: &vmn::Report, label: &str, engine: &str) {
     }
 }
 
+/// Static-analysis cross-check on the generated network:
+///
+/// * **unified classifiers** — `vmn_analysis` and the (delegating)
+///   `vmn_bdd::dataplane::statefulness` must give every model the same
+///   BDD-eligibility verdict, and no generated model may trip the
+///   annotation-soundness gate (the builders declare honestly);
+/// * **dynamic confirmation** — after concretely simulating cross
+///   traffic between every host pair, a model the analysis calls
+///   stateless must have accumulated no state, and a model inferred
+///   flow-parallel must hold only flow-shaped keys.
+fn assert_analysis_consistent(net: &Network, label: &str) {
+    for model in net.models.values() {
+        let a = vmn::analysis::analyze(model);
+        assert_eq!(
+            a.bdd_blocker.is_some(),
+            vmn_bdd::dataplane::statefulness(model).is_some(),
+            "{label}: analysis and dataplane disagree on {:?}",
+            model.type_name
+        );
+        assert!(
+            vmn::analysis::annotation_error(model).is_none(),
+            "{label}: builder model {:?} fails the annotation gate",
+            model.type_name
+        );
+    }
+
+    let models: HashMap<NodeId, &vmn_mbox::MboxModel> =
+        net.models.iter().map(|(k, v)| (*k, v)).collect();
+    let mut sim = Simulator::new(&net.topo, &net.tables, FailureScenario::none(), models);
+    let hosts: Vec<NodeId> = net.topo.hosts().collect();
+    for &a in &hosts {
+        for &b in &hosts {
+            if a == b {
+                continue;
+            }
+            let h = Header::tcp(net.host_address(a), 1000, net.host_address(b), 80);
+            // Drops and forwarding quirks are fine — only the state the
+            // middleboxes accumulate matters here.
+            let _ = sim.send_and_settle(a, h);
+        }
+    }
+    for (&m, model) in &net.models {
+        let a = vmn::analysis::analyze(model);
+        let Some(state) = sim.mbox_state(m) else { continue };
+        if a.statefulness.is_none() {
+            assert!(
+                state.is_empty(),
+                "{label}: analysis-stateless model {:?} accumulated state",
+                model.type_name
+            );
+        }
+        if a.inferred_parallelism == vmn_mbox::Parallelism::FlowParallel {
+            for (set, entries) in state.sets() {
+                for (key, _) in entries {
+                    assert!(
+                        matches!(key, KeyVal::Flow(_)),
+                        "{label}: flow-parallel model {:?} holds non-flow key {key:?} in {set:?}",
+                        model.type_name
+                    );
+                }
+            }
+        }
+    }
+}
+
 fn run_case(seed: u64) {
     let mut rng = TestRng::new(seed);
     let case = generate(&mut rng);
     let label = &case.label;
+    assert_analysis_consistent(&case.net, label);
 
     let oracle = Verifier::new(&case.net, opts(&case, false, 0.0)).expect("valid network");
     let want = oracle.verify(&case.inv).expect("oracle verifies");
