@@ -1,0 +1,104 @@
+//! Delta footprints: which parts of a network a configuration change
+//! can affect.
+//!
+//! A long-lived verifier (the `vmn_serve` daemon) applies *deltas* —
+//! model swaps, topology edits, invariant and scenario changes — and
+//! wants to re-check only what a delta can actually touch. The sound
+//! coarse answer is a [`TouchSet`]: either nothing observable changed
+//! (invariant/scenario bookkeeping only), a named set of nodes changed
+//! *behaviour* while the topology and routing stayed fixed (a middlebox
+//! model swap), or the change was structural (links, nodes, routes) and
+//! anything derived from the topology — header classes, delivery
+//! functions, node ids — may have moved.
+//!
+//! The engine consumes a [`TouchSet`] to retire warmed solver sessions
+//! (`vmn::Verifier::swap_network`): a session's skeleton encodes the
+//! models and delivery behaviour of its node set, so it survives exactly
+//! the deltas whose touch set misses that node set. The daemon
+//! additionally uses it as a cache prefilter: a cached verdict whose
+//! slice is disjoint from a [`TouchSet::Nodes`] footprint cannot have
+//! changed (provided the policy partition is stable — the daemon checks
+//! that separately and escalates to [`TouchSet::Everything`] when it
+//! moved).
+
+use std::collections::BTreeSet;
+
+/// The footprint of one applied delta, by node *name* (names are stable
+/// across re-materialisations of a symbolic network description; node
+/// ids are not once nodes can be removed).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TouchSet {
+    /// No observable behaviour changed: invariants or failure scenarios
+    /// were added/retired, but every node forwards and filters exactly
+    /// as before. Warmed sessions stay valid (scenarios and invariants
+    /// register lazily on sessions behind activation literals).
+    Nothing,
+    /// The named nodes changed behaviour (a middlebox model swap) while
+    /// the topology, links and forwarding tables stayed fixed. Sessions
+    /// and cached verdicts whose node sets avoid these names are
+    /// untouched.
+    Nodes(BTreeSet<String>),
+    /// Structural change: topology, links or routing moved, so delivery
+    /// behaviour (and node identity) may have changed anywhere.
+    Everything,
+}
+
+impl TouchSet {
+    /// Footprint of a single node's behaviour change.
+    pub fn node(name: impl Into<String>) -> TouchSet {
+        TouchSet::Nodes(BTreeSet::from([name.into()]))
+    }
+
+    pub fn is_nothing(&self) -> bool {
+        matches!(self, TouchSet::Nothing)
+    }
+
+    /// Folds two footprints (for batched deltas): the union is the
+    /// smallest touch set covering both.
+    pub fn union(self, other: TouchSet) -> TouchSet {
+        match (self, other) {
+            (TouchSet::Everything, _) | (_, TouchSet::Everything) => TouchSet::Everything,
+            (TouchSet::Nothing, x) | (x, TouchSet::Nothing) => x,
+            (TouchSet::Nodes(mut a), TouchSet::Nodes(b)) => {
+                a.extend(b);
+                TouchSet::Nodes(a)
+            }
+        }
+    }
+
+    /// Whether a slice/cluster with the given member names intersects
+    /// this footprint — i.e. whether its sessions and cached verdicts
+    /// must be considered stale.
+    pub fn touches<'a>(&self, names: impl IntoIterator<Item = &'a str>) -> bool {
+        match self {
+            TouchSet::Nothing => false,
+            TouchSet::Everything => true,
+            TouchSet::Nodes(touched) => names.into_iter().any(|n| touched.contains(n)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_is_ordered_nothing_nodes_everything() {
+        let a = TouchSet::node("fw1");
+        let b = TouchSet::node("fw2");
+        assert_eq!(TouchSet::Nothing.union(a.clone()), a);
+        assert_eq!(a.clone().union(TouchSet::Everything), TouchSet::Everything);
+        let ab = a.union(b);
+        assert_eq!(ab, TouchSet::Nodes(BTreeSet::from(["fw1".into(), "fw2".into()])));
+    }
+
+    #[test]
+    fn touches_checks_intersection() {
+        let t = TouchSet::node("fw1");
+        assert!(t.touches(["h1", "fw1"]));
+        assert!(!t.touches(["h1", "fw2"]));
+        assert!(!TouchSet::Nothing.touches(["fw1"]));
+        assert!(TouchSet::Everything.touches(std::iter::empty::<&str>()));
+        assert!(!t.touches(std::iter::empty::<&str>()));
+    }
+}

@@ -34,6 +34,9 @@
 
 #![forbid(unsafe_code)]
 
+pub mod delta;
+pub use delta::TouchSet;
+
 use std::collections::BTreeSet;
 use std::fmt;
 use vmn_mbox::{Action, Guard, KeyExpr, MboxModel, Parallelism};

@@ -1,0 +1,234 @@
+//! Emits `BENCH_deltas.json`: the serving layer's delta-driven
+//! re-verification versus from-scratch re-verification, on a steady
+//! stream of configuration deltas against P-pod networks.
+//!
+//! One JSON row per pod count. Each row loads a P-pod estate (hosts
+//! behind a per-pod learning firewall, one flow-isolation invariant per
+//! pod, one standing failure scenario) into a warmed
+//! [`vmn_serve::NetSession`], then drives a steady-state delta stream —
+//! firewall reconfigurations rotating over the pods, an invariant
+//! toggling in and out, a failure scenario toggling in and out — and
+//! times every delta twice:
+//!
+//! * **daemon**: `NetSession::apply`, which retires only the touched
+//!   pooled sessions and answers untouched (invariant, scenario) pairs
+//!   from the verdict cache via the prefilter / fingerprint ladder;
+//! * **scratch**: apply the same delta to a mirror spec, materialise,
+//!   build a fresh `Verifier`, and re-verify every pair — what a
+//!   stateless CLI invocation pays on every configuration change.
+//!
+//! Rows record p50/p99 per-delta latency for both series, the cache
+//! accounting (mean prefiltered / fingerprint-hit / re-checked pairs
+//! per delta), and the number of per-pair verdict divergences between
+//! the two (must be zero — the cache is only a cache if it is right).
+//!
+//! Usage:
+//!   bench_deltas [--samples N] [--out PATH]
+//!
+//! Defaults: 30 deltas per row, output written to BENCH_deltas.json in
+//! the current directory — exactly the shape of the committed copy at
+//! the repository root.
+
+use std::time::Instant;
+use vmn::{Verifier, VerifyOptions};
+use vmn_net::{FailureScenario, NodeId};
+use vmn_serve::{scenario_key, Delta, NetSession, NetSpec, NONE_SCENARIO};
+
+fn pct(mut v: Vec<f64>, p: f64) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    v[((v.len() - 1) as f64 * p).round() as usize]
+}
+
+/// The P-pod estate in `.vmn` config text: per-pod hosts + learning
+/// firewall on a pod switch, pod switches on a core, host traffic
+/// steered through the pod firewall, one invariant per pod, one
+/// standing failure scenario.
+fn config(pods: usize) -> String {
+    let mut c = String::from("switch core\n");
+    for p in 0..pods {
+        let net = p + 1;
+        c.push_str(&format!("host a{p} 10.{net}.0.1\n"));
+        c.push_str(&format!("host b{p} 10.{net}.0.2\n"));
+        c.push_str(&format!("switch sw{p}\n"));
+        c.push_str(&format!("firewall fw{p} allow 10.{net}.0.0/16 -> 10.{net}.0.0/16\n"));
+        c.push_str(&format!("link a{p} sw{p}\nlink b{p} sw{p}\nlink fw{p} sw{p}\n"));
+        c.push_str(&format!("link sw{p} core\n"));
+    }
+    c.push_str("autoroute\n");
+    for p in 0..pods {
+        c.push_str(&format!("steer sw{p} from a{p} 10.0.0.0/8 fw{p} prio 10\n"));
+    }
+    for p in 0..pods {
+        c.push_str(&format!("verify flow-isolation a{p} -> b{p}\n"));
+    }
+    c.push_str("fail fw0\n");
+    c
+}
+
+/// The steady-state delta at stream position `i`: firewall
+/// reconfigurations rotating over the pods, interleaved with an
+/// invariant and a failure scenario toggling in and out.
+fn delta_at(i: usize, pods: usize, spec: &NetSpec) -> Delta {
+    match i % 3 {
+        0 => {
+            let p = (i / 3) % pods;
+            let net = p + 1;
+            // Alternate between the baseline pod ACL and a widened one:
+            // a real model change every time, confined to one box.
+            let mut args = format!("allow 10.{net}.0.0/16 -> 10.{net}.0.0/16");
+            if (i / 3).is_multiple_of(2) {
+                args.push_str(&format!(" , 10.0.0.0/8 -> 10.{net}.0.2/32"));
+            }
+            Delta::SetModel {
+                name: format!("fw{p}"),
+                kind: "firewall".into(),
+                args: args.split_whitespace().map(str::to_string).collect(),
+            }
+        }
+        1 => {
+            let spec_text = "node-isolation a0 -> b0".to_string();
+            if spec.verify_specs().any(|s| s == spec_text) {
+                Delta::RetireInvariant { spec: spec_text }
+            } else {
+                Delta::AddInvariant { spec: spec_text }
+            }
+        }
+        _ => {
+            let fail = vec![format!("fw{}", 1 % pods)];
+            if spec.fail_specs().any(|f| scenario_key(f) == scenario_key(&fail)) {
+                Delta::RemoveScenario { fail }
+            } else {
+                Delta::AddScenario { fail }
+            }
+        }
+    }
+}
+
+/// From-scratch re-verification of every (invariant, scenario) pair —
+/// the cost of a stateless run. Returns (elapsed ms, per-pair holds).
+fn scratch(spec: &NetSpec) -> (f64, Vec<(String, String, bool)>) {
+    let t0 = Instant::now();
+    let m = spec.materialize().expect("spec materialises");
+    let verifier = Verifier::new(&m.net, VerifyOptions::default()).expect("valid network");
+    let mut scenarios = vec![(NONE_SCENARIO.to_string(), FailureScenario::none())];
+    for fail in spec.fail_specs() {
+        let nodes: Vec<NodeId> = fail.iter().filter_map(|n| m.names.get(n).copied()).collect();
+        scenarios.push((scenario_key(fail), FailureScenario::nodes(nodes)));
+    }
+    let mut holds = Vec::new();
+    for (inv_spec, inv) in &m.invariants {
+        for (skey, scenario) in &scenarios {
+            let r = verifier.verify_under(inv, vec![scenario.clone()]).expect("verifies");
+            holds.push((inv_spec.clone(), skey.clone(), r.verdict.holds()));
+        }
+    }
+    (t0.elapsed().as_secs_f64() * 1e3, holds)
+}
+
+fn main() {
+    let mut samples = 30usize;
+    let mut out = "BENCH_deltas.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--samples" => {
+                samples = args.next().expect("--samples needs a value").parse().expect("number")
+            }
+            "--out" => out = args.next().expect("--out needs a value"),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut rows: Vec<String> = Vec::new();
+    for pods in [4usize, 8] {
+        let text = config(pods);
+        let t0 = Instant::now();
+        let (mut session, load_report) =
+            NetSession::load(&text, VerifyOptions::default()).expect("estate loads");
+        let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(load_report.rechecked, load_report.pairs, "cold load solves every pair");
+
+        let mut daemon_ms = Vec::new();
+        let mut scratch_ms = Vec::new();
+        let mut divergences = 0usize;
+        let (mut prefiltered, mut cache_hits, mut rechecked, mut pairs_total) = (0, 0, 0, 0);
+        for i in 0..samples {
+            let delta = delta_at(i, pods, session.spec());
+            let t0 = Instant::now();
+            let report = session.apply(std::slice::from_ref(&delta)).expect("delta applies");
+            daemon_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            prefiltered += report.prefiltered;
+            cache_hits += report.cache_hits;
+            rechecked += report.rechecked;
+            pairs_total += report.pairs;
+
+            let (ms, holds) = scratch(session.spec());
+            scratch_ms.push(ms);
+            for (inv_spec, skey, want) in holds {
+                let got = session
+                    .cached(&inv_spec, &skey)
+                    .unwrap_or_else(|| panic!("no cache entry for {inv_spec:?}/{skey:?}"))
+                    .verdict
+                    .holds();
+                if got != want {
+                    divergences += 1;
+                }
+            }
+        }
+
+        let (dp50, dp99) = (pct(daemon_ms.clone(), 0.50), pct(daemon_ms.clone(), 0.99));
+        let (sp50, sp99) = (pct(scratch_ms.clone(), 0.50), pct(scratch_ms.clone(), 0.99));
+        let n = samples as f64;
+        eprintln!(
+            "deltas/{pods}  load {load_ms:>8.2} ms  delta p50 {dp50:>7.3} ms p99 {dp99:>7.3} ms  \
+             scratch p50 {sp50:>8.2} ms p99 {sp99:>8.2} ms  speedup p50 {:>6.1}x p99 {:>6.1}x  \
+             mean prefiltered {:.1} hits {:.1} rechecked {:.1} of {:.1}  divergences {divergences}",
+            sp50 / dp50,
+            sp99 / dp99,
+            prefiltered as f64 / n,
+            cache_hits as f64 / n,
+            rechecked as f64 / n,
+            pairs_total as f64 / n
+        );
+        rows.push(format!(
+            "    {{\"workload\": \"deltas/{pods}\", \"invariants\": {}, \"scenarios\": {}, \
+             \"load_ms\": {load_ms:.3}, \
+             \"delta_p50_ms\": {dp50:.3}, \"delta_p99_ms\": {dp99:.3}, \
+             \"scratch_p50_ms\": {sp50:.3}, \"scratch_p99_ms\": {sp99:.3}, \
+             \"speedup_p50\": {:.1}, \"speedup_p99\": {:.1}, \
+             \"mean_pairs\": {:.1}, \"mean_prefiltered\": {:.1}, \"mean_cache_hits\": {:.1}, \
+             \"mean_rechecked\": {:.1}, \"verdict_divergences\": {divergences}}}",
+            session.invariants().len(),
+            session.scenario_list().len(),
+            sp50 / dp50,
+            sp99 / dp99,
+            pairs_total as f64 / n,
+            prefiltered as f64 / n,
+            cache_hits as f64 / n,
+            rechecked as f64 / n
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"delta_sweep\",\n  \"workloads\": \
+         \"deltas/P = P pods (two hosts behind a per-pod learning firewall on a pod switch, \
+         pods joined by a core switch) with one flow-isolation invariant per pod and one \
+         standing firewall-failure scenario; the delta stream rotates firewall ACL rewrites \
+         across the pods and toggles an extra invariant and an extra failure scenario\",\n  \
+         \"unit\": \"wall-clock milliseconds per delta (1 thread); daemon = \
+         NetSession::apply on the long-lived session (touched sessions retired, untouched \
+         pairs answered by slice-footprint prefilter or verdict-fingerprint cache hit); \
+         scratch = re-apply to a mirror spec, rebuild the verifier, re-verify every \
+         (invariant, scenario) pair\",\n  \
+         \"series\": \"p50/p99 over the delta stream, interleaved so machine drift hits both \
+         equally; verdict_divergences counts per-pair holds/violated disagreements between \
+         the daemon cache and the from-scratch run and must be 0\",\n  \
+         \"samples_per_point\": {samples},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out, json).expect("write BENCH_deltas.json");
+    eprintln!("wrote {out}");
+}

@@ -1,8 +1,8 @@
-//! The `.vmn` network-description format and its parser.
-//!
-//! A deliberately small line-oriented format — enough for an operator to
-//! describe a topology, its routing, middlebox configurations, failure
-//! scenarios and invariants in one file:
+//! The `.vmn` network-description format: parsing delegates to
+//! `vmn_serve::spec`, which keeps the description *symbolic* so the
+//! serving daemon can apply deltas and re-materialise it per epoch. The
+//! one-shot CLI path materialises exactly once and keeps the historical
+//! [`Config`] shape:
 //!
 //! ```text
 //! # comments start with '#'
@@ -26,10 +26,9 @@
 //! verify   traversal outside -> inside via fw
 //! ```
 
-use std::collections::HashMap;
 use vmn::{Invariant, Network};
-use vmn_mbox::models;
-use vmn_net::{Address, FailureScenario, NodeId, Prefix, RoutingConfig, Rule, Topology};
+use vmn_net::NodeId;
+use vmn_serve::NetSpec;
 
 /// A parsed configuration: the network plus the invariants to verify.
 pub struct Config {
@@ -54,349 +53,12 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
-}
-
-/// Parses a `.vmn` document.
+/// Parses a `.vmn` document (and materialises it once).
 pub fn parse(text: &str) -> Result<Config, ParseError> {
-    let mut topo = Topology::new();
-    let mut names: HashMap<String, NodeId> = HashMap::new();
-    struct PendingModel {
-        line: usize,
-        node: String,
-        kind: String,
-        args: Vec<String>,
-    }
-    let mut pending_models: Vec<PendingModel> = Vec::new();
-    let mut pending_links: Vec<(usize, String, String)> = Vec::new();
-    let mut pending_routes: Vec<(usize, Vec<String>)> = Vec::new();
-    let mut pending_steers: Vec<(usize, Vec<String>)> = Vec::new();
-    let mut pending_fails: Vec<(usize, Vec<String>)> = Vec::new();
-    let mut pending_verifies: Vec<(usize, String)> = Vec::new();
-    let mut autoroute = false;
-
-    for (idx, raw) in text.lines().enumerate() {
-        let lineno = idx + 1;
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let mut tok = line.split_whitespace();
-        let keyword = tok.next().expect("non-empty line");
-        let rest: Vec<String> = tok.map(str::to_string).collect();
-        match keyword {
-            "host" => {
-                let [name, addr] = two(lineno, &rest, "host <name> <address>")?;
-                let a: Address =
-                    addr.parse().map_err(|e| err(lineno, format!("bad address: {e}")))?;
-                insert_node(&mut names, lineno, name.clone(), topo.add_host(name, a))?;
-            }
-            "switch" => {
-                let name = one(lineno, &rest, "switch <name>")?;
-                insert_node(&mut names, lineno, name.clone(), topo.add_switch(name))?;
-            }
-            "firewall" | "acl-firewall" | "nat" | "cache" | "idps" | "ids" | "scrubber"
-            | "gateway" | "wan-optimizer" | "lb" => {
-                if rest.is_empty() {
-                    return Err(err(lineno, format!("{keyword} needs a name")));
-                }
-                let name = rest[0].clone();
-                // NATs and LBs own addresses; extract them for the topology.
-                let addresses = owned_addresses(keyword, &rest).map_err(|m| err(lineno, m))?;
-                let id = topo.add_middlebox(name.clone(), keyword, addresses);
-                insert_node(&mut names, lineno, name.clone(), id)?;
-                pending_models.push(PendingModel {
-                    line: lineno,
-                    node: name,
-                    kind: keyword.to_string(),
-                    args: rest[1..].to_vec(),
-                });
-            }
-            "link" => {
-                let [a, b] = two(lineno, &rest, "link <a> <b>")?;
-                pending_links.push((lineno, a, b));
-            }
-            "route" => pending_routes.push((lineno, rest)),
-            "steer" => pending_steers.push((lineno, rest)),
-            "autoroute" => autoroute = true,
-            "fail" => pending_fails.push((lineno, rest)),
-            "verify" => pending_verifies.push((lineno, rest.join(" "))),
-            other => return Err(err(lineno, format!("unknown keyword {other:?}"))),
-        }
-    }
-
-    for (lineno, a, b) in pending_links {
-        let na = lookup(&names, lineno, &a)?;
-        let nb = lookup(&names, lineno, &b)?;
-        topo.add_link(na, nb);
-    }
-
-    let mut tables = if autoroute {
-        let mut rc = RoutingConfig::new();
-        rc.host_routes(&topo);
-        rc.build(&topo, &FailureScenario::none())
-    } else {
-        vmn_net::ForwardingTables::new()
-    };
-    for (lineno, args) in pending_routes {
-        // route <switch> <prefix> <next> [prio N]
-        if args.len() < 3 {
-            return Err(err(lineno, "route <switch> <prefix> <next-hop> [prio N]"));
-        }
-        let sw = lookup(&names, lineno, &args[0])?;
-        let prefix: Prefix =
-            args[1].parse().map_err(|e| err(lineno, format!("bad prefix: {e}")))?;
-        let next = lookup(&names, lineno, &args[2])?;
-        let prio = parse_prio(lineno, &args[3..])?;
-        tables.add_rule(sw, Rule::new(prefix, next).with_priority(prio));
-    }
-    for (lineno, args) in pending_steers {
-        // steer <switch> from <node> <prefix> <next> [prio N]
-        if args.len() < 5 || args[1] != "from" {
-            return Err(err(lineno, "steer <switch> from <node> <prefix> <next-hop> [prio N]"));
-        }
-        let sw = lookup(&names, lineno, &args[0])?;
-        let from = lookup(&names, lineno, &args[2])?;
-        let prefix: Prefix =
-            args[3].parse().map_err(|e| err(lineno, format!("bad prefix: {e}")))?;
-        let next = lookup(&names, lineno, &args[4])?;
-        let prio = parse_prio(lineno, &args[5..])?;
-        tables.add_rule(sw, Rule::from_neighbor(prefix, from, next).with_priority(prio));
-    }
-
-    let mut net = Network::new(topo, tables);
-    for pm in pending_models {
-        let node = lookup(&names, pm.line, &pm.node)?;
-        let model = build_model(pm.line, &pm.kind, &pm.node, &pm.args)?;
-        net.set_model(node, model);
-    }
-    for (lineno, args) in pending_fails {
-        let mut nodes = Vec::new();
-        for a in &args {
-            nodes.push(lookup(&names, lineno, a)?);
-        }
-        net.add_scenario(FailureScenario::nodes(nodes));
-    }
-
-    let mut invariants = Vec::new();
-    let mut pipelines = Vec::new();
-    for (lineno, spec) in pending_verifies {
-        let toks: Vec<&str> = spec.split_whitespace().collect();
-        if toks.first() == Some(&"pipeline") {
-            // verify pipeline <src> -> <dst> via <type> [<type>…]
-            match toks.as_slice() {
-                [_, src, "->", dst, "via", types @ ..] if !types.is_empty() => {
-                    let s = lookup(&names, lineno, src)?;
-                    let d = lookup(&names, lineno, dst)?;
-                    let spec_obj = vmn_net::PipelineSpec::new(types.iter().copied());
-                    pipelines.push((spec.clone(), spec_obj, s, d));
-                }
-                _ => {
-                    return Err(err(
-                        lineno,
-                        "usage: verify pipeline <src> -> <dst> via <mbox-type>…",
-                    ))
-                }
-            }
-        } else {
-            invariants.push((spec.clone(), parse_invariant(&names, lineno, &spec)?));
-        }
-    }
-
-    Ok(Config { net, invariants, pipelines })
-}
-
-fn insert_node(
-    names: &mut HashMap<String, NodeId>,
-    line: usize,
-    name: String,
-    id: NodeId,
-) -> Result<(), ParseError> {
-    if names.insert(name.clone(), id).is_some() {
-        return Err(err(line, format!("duplicate node name {name:?}")));
-    }
-    Ok(())
-}
-
-fn lookup(names: &HashMap<String, NodeId>, line: usize, name: &str) -> Result<NodeId, ParseError> {
-    names.get(name).copied().ok_or_else(|| err(line, format!("unknown node {name:?}")))
-}
-
-fn one(line: usize, rest: &[String], usage: &str) -> Result<String, ParseError> {
-    match rest {
-        [a] => Ok(a.clone()),
-        _ => Err(err(line, format!("usage: {usage}"))),
-    }
-}
-
-fn two(line: usize, rest: &[String], usage: &str) -> Result<[String; 2], ParseError> {
-    match rest {
-        [a, b] => Ok([a.clone(), b.clone()]),
-        _ => Err(err(line, format!("usage: {usage}"))),
-    }
-}
-
-fn parse_prio(line: usize, rest: &[String]) -> Result<i32, ParseError> {
-    match rest {
-        [] => Ok(0),
-        [kw, n] if kw == "prio" => n.parse().map_err(|_| err(line, format!("bad priority {n:?}"))),
-        _ => Err(err(line, "expected `prio N` or nothing")),
-    }
-}
-
-/// Addresses a middlebox owns, for the topology (NAT external, LB VIP).
-fn owned_addresses(kind: &str, rest: &[String]) -> Result<Vec<Address>, String> {
-    let find = |key: &str| -> Option<&str> {
-        rest.iter().position(|t| t == key).and_then(|i| rest.get(i + 1)).map(String::as_str)
-    };
-    match kind {
-        "nat" => {
-            let ext = find("external").ok_or("nat needs `external <address>`")?;
-            Ok(vec![ext.parse().map_err(|e| format!("bad external address: {e}"))?])
-        }
-        "lb" => {
-            let vip = find("vip").ok_or("lb needs `vip <address>`")?;
-            Ok(vec![vip.parse().map_err(|e| format!("bad vip: {e}"))?])
-        }
-        _ => Ok(Vec::new()),
-    }
-}
-
-/// Parses `A/B -> C/D` pair lists separated by `,`.
-fn parse_pairs(line: usize, toks: &[String]) -> Result<Vec<(Prefix, Prefix)>, ParseError> {
-    let joined = toks.join(" ");
-    let mut out = Vec::new();
-    for chunk in joined.split(',') {
-        let chunk = chunk.trim();
-        if chunk.is_empty() {
-            continue;
-        }
-        let (a, b) = chunk
-            .split_once("->")
-            .ok_or_else(|| err(line, format!("expected `src -> dst`, got {chunk:?}")))?;
-        let pa: Prefix =
-            a.trim().parse().map_err(|e| err(line, format!("bad prefix {a:?}: {e}")))?;
-        let pb: Prefix =
-            b.trim().parse().map_err(|e| err(line, format!("bad prefix {b:?}: {e}")))?;
-        out.push((pa, pb));
-    }
-    Ok(out)
-}
-
-fn build_model(
-    line: usize,
-    kind: &str,
-    name: &str,
-    args: &[String],
-) -> Result<vmn_mbox::MboxModel, ParseError> {
-    let find = |key: &str| -> Option<usize> { args.iter().position(|t| t == key) };
-    match kind {
-        "firewall" => {
-            let acl = match find("allow") {
-                Some(i) => parse_pairs(line, &args[i + 1..])?,
-                None => Vec::new(),
-            };
-            Ok(models::learning_firewall(kind, acl))
-        }
-        "acl-firewall" => {
-            let acl = match find("allow") {
-                Some(i) => parse_pairs(line, &args[i + 1..])?,
-                None => Vec::new(),
-            };
-            Ok(models::acl_firewall(kind, acl))
-        }
-        "nat" => {
-            let internal = find("internal")
-                .and_then(|i| args.get(i + 1))
-                .ok_or_else(|| err(line, "nat needs `internal <prefix>`"))?;
-            let external = find("external")
-                .and_then(|i| args.get(i + 1))
-                .ok_or_else(|| err(line, "nat needs `external <address>`"))?;
-            Ok(models::nat(
-                kind,
-                internal.parse().map_err(|e| err(line, format!("bad prefix: {e}")))?,
-                external.parse().map_err(|e| err(line, format!("bad address: {e}")))?,
-            ))
-        }
-        "cache" => {
-            let servers_at = find("servers")
-                .ok_or_else(|| err(line, "cache needs `servers <prefix>[,<prefix>…]`"))?;
-            let deny_at = find("deny");
-            let servers_end = deny_at.unwrap_or(args.len());
-            let mut servers = Vec::new();
-            for t in args[servers_at + 1..servers_end].join(" ").split(',') {
-                let t = t.trim();
-                if t.is_empty() {
-                    continue;
-                }
-                servers.push(t.parse().map_err(|e| err(line, format!("bad prefix {t:?}: {e}")))?);
-            }
-            let deny = match deny_at {
-                Some(i) => parse_pairs(line, &args[i + 1..])?,
-                None => Vec::new(),
-            };
-            Ok(models::content_cache(kind, servers, deny))
-        }
-        "idps" => Ok(models::idps(kind)),
-        "ids" => Ok(models::ids_monitor(kind)),
-        "scrubber" => Ok(models::scrubber(kind)),
-        "gateway" => Ok(models::gateway(kind)),
-        "wan-optimizer" => Ok(models::wan_optimizer(kind)),
-        "lb" => {
-            let vip = find("vip")
-                .and_then(|i| args.get(i + 1))
-                .ok_or_else(|| err(line, "lb needs `vip <address>`"))?;
-            let backends_at =
-                find("backends").ok_or_else(|| err(line, "lb needs `backends <a>,<b>…`"))?;
-            let mut backends = Vec::new();
-            for t in args[backends_at + 1..].join(" ").split(',') {
-                let t = t.trim();
-                if t.is_empty() {
-                    continue;
-                }
-                backends.push(t.parse().map_err(|e| err(line, format!("bad address {t:?}: {e}")))?);
-            }
-            Ok(models::load_balancer(
-                kind,
-                vip.parse().map_err(|e| err(line, format!("bad vip: {e}")))?,
-                backends,
-            ))
-        }
-        other => Err(err(line, format!("unknown middlebox kind {other:?} for {name}"))),
-    }
-}
-
-fn parse_invariant(
-    names: &HashMap<String, NodeId>,
-    line: usize,
-    spec: &str,
-) -> Result<Invariant, ParseError> {
-    let toks: Vec<&str> = spec.split_whitespace().collect();
-    match toks.as_slice() {
-        [kind, src, "->", dst, rest @ ..] => {
-            let s = lookup(names, line, src)?;
-            let d = lookup(names, line, dst)?;
-            match (*kind, rest) {
-                ("node-isolation", []) => Ok(Invariant::NodeIsolation { src: s, dst: d }),
-                ("flow-isolation", []) => Ok(Invariant::FlowIsolation { src: s, dst: d }),
-                ("data-isolation", []) => Ok(Invariant::DataIsolation { origin: s, dst: d }),
-                ("traversal", ["via", boxes @ ..]) if !boxes.is_empty() => {
-                    let mut through = Vec::new();
-                    for b in boxes {
-                        through.push(lookup(names, line, b)?);
-                    }
-                    Ok(Invariant::Traversal { dst: d, through, from: Some(s) })
-                }
-                _ => Err(err(line, format!("bad invariant spec {spec:?}"))),
-            }
-        }
-        _ => Err(err(
-            line,
-            "usage: verify <kind> <src> -> <dst> [via <mbox>…] \
-             where kind is node-isolation | flow-isolation | data-isolation | traversal",
-        )),
-    }
+    let m = NetSpec::parse(text)
+        .and_then(|spec| spec.materialize())
+        .map_err(|e| ParseError { line: e.line, message: e.message })?;
+    Ok(Config { net: m.net, invariants: m.invariants, pipelines: m.pipelines })
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! $ vmn check run.cert          # first line `vmn-cert v1`: trusted check
 //! $ vmn lint network.vmn        # per-middlebox static-analysis report
 //! $ vmn lint --estates          # lint the built-in scenario estates
+//! $ vmn serve [--socket PATH]   # delta-driven verification daemon
 //! ```
 //!
 //! Exit code 0 when every invariant that should hold holds (or every
@@ -52,7 +53,16 @@ fn usage() -> ExitCode {
          parallelism (checked against the declared annotations), and\n\
          dead rule arms proven with the ROBDD engine. --estates lints\n\
          the built-in scenario estates instead of a file. Exit 1 when\n\
-         any diagnostic reaches error severity."
+         any diagnostic reaches error severity.\n\
+         \n\
+         vmn serve [--socket PATH]\n\
+         \n\
+         Long-lived verification daemon speaking newline-delimited JSON\n\
+         on stdin/stdout (or on a unix socket with --socket): load\n\
+         networks, apply topology/policy/invariant deltas, and read\n\
+         re-verification reports answered from warmed solver sessions\n\
+         and a slice-fingerprint verdict cache. See the vmn_serve crate\n\
+         docs for the protocol."
     );
     ExitCode::from(2)
 }
@@ -166,6 +176,61 @@ fn lint_main(args: &[String]) -> ExitCode {
     }
 }
 
+/// `vmn serve`: the delta-driven verification daemon. One fleet of
+/// warmed sessions per process; requests arrive as newline-delimited
+/// JSON on stdin (responses on stdout) or, with `--socket`, on a unix
+/// socket served one connection at a time — the fleet, its verdict
+/// caches and its pooled solver sessions persist across connections.
+fn serve_main(args: &[String]) -> ExitCode {
+    let mut socket: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => {
+                socket = match it.next() {
+                    Some(p) => Some(p.clone()),
+                    None => return usage(),
+                }
+            }
+            s if s.starts_with("--socket=") => socket = Some(s["--socket=".len()..].to_string()),
+            _ => return usage(),
+        }
+    }
+    let mut svc = vmn_serve::Service::new(VerifyOptions::default());
+    let result = match socket {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            vmn_serve::serve_lines(&mut svc, stdin.lock(), stdout.lock()).map(|_| ())
+        }
+        Some(path) => serve_socket(&mut svc, &path),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("vmn serve: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn serve_socket(svc: &mut vmn_serve::Service, path: &str) -> std::io::Result<()> {
+    use std::os::unix::net::UnixListener;
+    // A stale socket file from a previous run would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    eprintln!("vmn serve: listening on {path}");
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let reader = std::io::BufReader::new(stream.try_clone()?);
+        if vmn_serve::serve_lines(svc, reader, stream)? {
+            break; // a connection requested shutdown
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
 /// Trusted-checker mode: validate every bundle in a stored certificate
 /// file. No solver code runs here — only `vmn_check`.
 fn check_certificates(file: &str, text: &str) -> ExitCode {
@@ -221,6 +286,7 @@ fn main() -> ExitCode {
     match it.next().map(String::as_str) {
         Some("check") => {}
         Some("lint") => return lint_main(&args[1..]),
+        Some("serve") => return serve_main(&args[1..]),
         _ => return usage(),
     }
     while let Some(a) = it.next() {

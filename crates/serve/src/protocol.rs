@@ -1,0 +1,293 @@
+//! The newline-delimited-JSON protocol behind `vmn serve`.
+//!
+//! One request per line, one response line per request. Requests are
+//! objects with an `"op"` field:
+//!
+//! ```text
+//! {"op":"load","net":"prod","config":"host a 1.1.1.1\n..."}
+//! {"op":"delta","net":"prod","delta":{"op":"set-model","name":"fw",...}}
+//! {"op":"delta","net":"prod","deltas":[{...},{...}]}        # one batch
+//! {"op":"verdicts","net":"prod"}
+//! {"op":"status"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses always carry `"ok"`; errors are
+//! `{"ok":false,"error":"..."}` and never terminate the session. Delta
+//! responses describe the re-verification (see [`DeltaReport`]):
+//! `touched` (the session footprint), `pairs`, `prefiltered`,
+//! `cache_hits`, `rechecked`, `retired`, `changed` and `elapsed_ms`.
+//! The empty scenario key `""` names the implicit no-failure scenario.
+
+use std::io::{BufRead, Write};
+
+use crate::delta::Delta;
+use crate::json::{self, Value};
+use crate::service::{DeltaReport, NetSession, Service};
+use vmn_analysis::TouchSet;
+
+/// One protocol response: the line to write back, and whether the
+/// request asked the server to stop.
+pub struct Response {
+    pub text: String,
+    pub shutdown: bool,
+}
+
+fn error(message: impl std::fmt::Display) -> Response {
+    let v = Value::obj([("ok", Value::Bool(false)), ("error", Value::str(message.to_string()))]);
+    Response { text: v.to_string(), shutdown: false }
+}
+
+fn ok(mut fields: Vec<(&'static str, Value)>) -> Response {
+    fields.insert(0, ("ok", Value::Bool(true)));
+    Response { text: Value::obj(fields).to_string(), shutdown: false }
+}
+
+fn touched_json(t: &TouchSet) -> Value {
+    match t {
+        TouchSet::Nothing => Value::str("nothing"),
+        TouchSet::Everything => Value::str("everything"),
+        TouchSet::Nodes(names) => {
+            let list: Vec<&str> = names.iter().map(String::as_str).collect();
+            Value::str(format!("nodes:{}", list.join(",")))
+        }
+    }
+}
+
+fn report_json(r: &DeltaReport) -> Vec<(&'static str, Value)> {
+    let changed: Vec<Value> = r
+        .changed
+        .iter()
+        .map(|(inv, skey, holds, was)| {
+            Value::obj([
+                ("invariant", Value::str(inv.clone())),
+                ("scenario", Value::str(skey.clone())),
+                ("holds", Value::Bool(*holds)),
+                ("was", was.map(Value::Bool).unwrap_or(Value::Null)),
+            ])
+        })
+        .collect();
+    vec![
+        ("touched", touched_json(&r.touched)),
+        ("escalated", Value::Bool(r.escalated)),
+        ("pairs", Value::num(r.pairs as f64)),
+        ("prefiltered", Value::num(r.prefiltered as f64)),
+        ("cache_hits", Value::num(r.cache_hits as f64)),
+        ("rechecked", Value::num(r.rechecked as f64)),
+        ("retired", Value::num(r.retired as f64)),
+        ("changed", Value::Arr(changed)),
+        ("elapsed_ms", Value::Num(r.elapsed.as_secs_f64() * 1e3)),
+    ]
+}
+
+fn verdicts_json(session: &NetSession) -> Vec<(&'static str, Value)> {
+    let invariants: Vec<Value> = session
+        .verdicts()
+        .into_iter()
+        .map(|iv| {
+            let mut fields = vec![("spec", Value::str(iv.spec)), ("holds", Value::Bool(iv.holds))];
+            if let Some((skey, steps)) = iv.violation {
+                fields.push(("scenario", Value::str(skey)));
+                fields.push(("witness_steps", Value::num(steps as f64)));
+            }
+            Value::obj(fields)
+        })
+        .collect();
+    let pipelines: Vec<Value> = session
+        .pipeline_verdicts()
+        .iter()
+        .map(|(spec, holds)| {
+            Value::obj([("spec", Value::str(spec.clone())), ("holds", Value::Bool(*holds))])
+        })
+        .collect();
+    vec![("invariants", Value::Arr(invariants)), ("pipelines", Value::Arr(pipelines))]
+}
+
+/// Handles one request line against the fleet.
+pub fn handle_line(svc: &mut Service, line: &str) -> Response {
+    let line = line.trim();
+    if line.is_empty() {
+        return error("empty request line");
+    }
+    let req = match json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return error(e),
+    };
+    let Some(op) = req.str_field("op") else {
+        return error("request needs an \"op\" field");
+    };
+    let net_name = req.str_field("net").unwrap_or("default").to_string();
+    match op {
+        "load" => {
+            let Some(config) = req.str_field("config") else {
+                return error("load needs a \"config\" field (.vmn text)");
+            };
+            match svc.load(&net_name, config) {
+                Ok(report) => {
+                    let mut fields = vec![("net", Value::str(net_name.clone()))];
+                    fields.extend(report_json(&report));
+                    fields.extend(verdicts_json(svc.net(&net_name).expect("just loaded")));
+                    ok(fields)
+                }
+                Err(e) => error(e),
+            }
+        }
+        "delta" => {
+            let deltas: Result<Vec<Delta>, String> = match (req.get("delta"), req.get("deltas")) {
+                (Some(d), None) => Delta::from_json(d).map(|d| vec![d]),
+                (None, Some(Value::Arr(items))) => items.iter().map(Delta::from_json).collect(),
+                (None, Some(_)) => Err("\"deltas\" must be an array".into()),
+                _ => Err("delta needs a \"delta\" object or a \"deltas\" array".into()),
+            };
+            let deltas = match deltas {
+                Ok(d) => d,
+                Err(e) => return error(e),
+            };
+            let Some(session) = svc.net_mut(&net_name) else {
+                return error(format!("no loaded network {net_name:?}"));
+            };
+            match session.apply(&deltas) {
+                Ok(report) => {
+                    let mut fields = vec![("net", Value::str(net_name))];
+                    fields.extend(report_json(&report));
+                    ok(fields)
+                }
+                Err(e) => error(e),
+            }
+        }
+        "verdicts" => match svc.net(&net_name) {
+            Some(session) => {
+                let mut fields = vec![("net", Value::str(net_name))];
+                fields.extend(verdicts_json(session));
+                ok(fields)
+            }
+            None => error(format!("no loaded network {net_name:?}")),
+        },
+        "status" => {
+            let mut names: Vec<&str> = svc.names().collect();
+            names.sort_unstable();
+            let nets: Vec<Value> = names
+                .iter()
+                .map(|name| {
+                    let s = svc.net(name).expect("listed");
+                    Value::obj([
+                        ("name", Value::str(*name)),
+                        ("nodes", Value::num(s.names().len() as f64)),
+                        ("invariants", Value::num(s.invariants().len() as f64)),
+                        ("scenarios", Value::num(s.spec().fail_specs().count() as f64)),
+                        ("cached_pairs", Value::num(s.cached_pairs() as f64)),
+                        ("pooled_sessions", Value::num(s.verifier().pooled_sessions() as f64)),
+                        ("cost_entries", Value::num(s.verifier().cost_model_entries() as f64)),
+                    ])
+                })
+                .collect();
+            ok(vec![("nets", Value::Arr(nets))])
+        }
+        "shutdown" => {
+            let mut r = ok(vec![("shutdown", Value::Bool(true))]);
+            r.shutdown = true;
+            r
+        }
+        other => error(format!("unknown op {other:?}")),
+    }
+}
+
+/// Drives a full session over any line-oriented transport (stdin/stdout
+/// or an accepted unix-socket stream): one response line per request
+/// line, flushed, until EOF or a `shutdown` request. Returns whether
+/// `shutdown` was requested (the socket server uses this to stop
+/// accepting).
+pub fn serve_lines<R: BufRead, W: Write>(
+    svc: &mut Service,
+    reader: R,
+    mut writer: W,
+) -> std::io::Result<bool> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(svc, &line);
+        writer.write_all(response.text.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if response.shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmn::VerifyOptions;
+
+    const CONFIG: &str = "host a 1.1.1.1\nhost b 2.2.2.2\nswitch sw\nfirewall fw\nlink a sw\nlink b sw\nlink fw sw\nautoroute\nverify node-isolation a -> b\n";
+
+    fn field_num(v: &Value, k: &str) -> f64 {
+        v.get(k).and_then(Value::as_f64).unwrap_or_else(|| panic!("field {k} in {v}"))
+    }
+
+    #[test]
+    fn scripted_session() {
+        let mut svc = Service::new(VerifyOptions::default());
+        let load = format!(r#"{{"op":"load","net":"n","config":{}}}"#, Value::str(CONFIG));
+        let r = handle_line(&mut svc, &load);
+        let v = json::parse(&r.text).unwrap();
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{}", r.text);
+        assert_eq!(field_num(&v, "pairs"), 1.0);
+        assert_eq!(field_num(&v, "rechecked"), 1.0);
+
+        let r = handle_line(
+            &mut svc,
+            r#"{"op":"delta","net":"n","delta":{"op":"add-invariant","spec":"flow-isolation a -> b"}}"#,
+        );
+        let v = json::parse(&r.text).unwrap();
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{}", r.text);
+        assert_eq!(v.str_field("touched"), Some("nothing"));
+        assert_eq!(field_num(&v, "prefiltered"), 1.0);
+        assert_eq!(field_num(&v, "rechecked"), 1.0);
+
+        let r = handle_line(&mut svc, r#"{"op":"verdicts","net":"n"}"#);
+        let v = json::parse(&r.text).unwrap();
+        assert_eq!(v.get("invariants").and_then(Value::as_arr).unwrap().len(), 2);
+
+        let r = handle_line(&mut svc, r#"{"op":"status"}"#);
+        let v = json::parse(&r.text).unwrap();
+        let nets = v.get("nets").and_then(Value::as_arr).unwrap();
+        assert_eq!(nets.len(), 1);
+        assert_eq!(field_num(&nets[0], "cached_pairs"), 2.0);
+
+        // Errors don't kill the session.
+        let r = handle_line(
+            &mut svc,
+            r#"{"op":"delta","net":"ghost","delta":{"op":"remove-node","name":"x"}}"#,
+        );
+        assert!(!r.shutdown);
+        let v = json::parse(&r.text).unwrap();
+        assert_eq!(v.get("ok"), Some(&Value::Bool(false)));
+
+        let r = handle_line(&mut svc, r#"{"op":"shutdown"}"#);
+        assert!(r.shutdown);
+    }
+
+    #[test]
+    fn serve_lines_runs_to_shutdown() {
+        let mut svc = Service::new(VerifyOptions::default());
+        let script = format!(
+            "{}\n{}\n{}\n",
+            format_args!(r#"{{"op":"load","net":"n","config":{}}}"#, Value::str(CONFIG)),
+            r#"{"op":"verdicts","net":"n"}"#,
+            r#"{"op":"shutdown"}"#
+        );
+        let mut out = Vec::new();
+        let stopped = serve_lines(&mut svc, script.as_bytes(), &mut out).unwrap();
+        assert!(stopped);
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().trim().lines().collect();
+        assert_eq!(lines.len(), 3);
+        for l in &lines {
+            assert_eq!(json::parse(l).unwrap().get("ok"), Some(&Value::Bool(true)), "{l}");
+        }
+    }
+}

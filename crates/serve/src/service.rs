@@ -1,0 +1,509 @@
+//! The long-lived verification service.
+//!
+//! A [`Service`] holds a fleet of named [`NetSession`]s. Each session
+//! keeps the symbolic [`NetSpec`], a warmed [`Verifier`] (whose solver
+//! sessions persist across checks), and a **verdict cache** with one
+//! entry per (invariant, scenario) pair, keyed by the pair's *slice
+//! fingerprint* ([`vmn::slice::verdict_fingerprint`]).
+//!
+//! Applying a delta re-checks only what the delta can touch:
+//!
+//! 1. the delta's [`TouchSet`] retires exactly the stale pooled solver
+//!    sessions (`Verifier::swap_network`) and cost-model entries;
+//! 2. cached pairs whose slice is disjoint from a `Nodes` footprint are
+//!    *prefiltered* — skipped without any recomputation (sound unless
+//!    the policy partition moved, which escalates to everything);
+//! 3. surviving pairs recompute their fingerprint: an unchanged
+//!    fingerprint is a *cache hit* (the verdict is a deterministic
+//!    function of the fingerprinted inputs), a changed one triggers a
+//!    re-verification of just that pair ([`Verifier::verify_under`]).
+//!
+//! Pipeline invariants are static-datapath checks, orders of magnitude
+//! cheaper than the SMT path, and are simply re-checked on every delta.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use vmn::slice::{slice_names, verdict_fingerprint};
+use vmn::{Invariant, Verdict, Verifier, VerifyOptions};
+use vmn_analysis::TouchSet;
+use vmn_net::{FailureScenario, HeaderClasses, NodeId};
+
+use crate::delta::{scenario_key, Delta};
+use crate::spec::NetSpec;
+
+/// One cached (invariant, scenario) verdict.
+#[derive(Clone, Debug)]
+pub struct CacheEntry {
+    /// Fingerprint of everything the verdict depends on.
+    pub fingerprint: u64,
+    /// The slice's member names — intersected against delta footprints.
+    pub slice: BTreeSet<String>,
+    pub verdict: Verdict,
+}
+
+/// What one delta batch did.
+#[derive(Clone, Debug)]
+pub struct DeltaReport {
+    /// The batch's merged session footprint.
+    pub touched: TouchSet,
+    /// Whether a policy-partition change forced the cache prefilter to
+    /// treat the batch as touching everything.
+    pub escalated: bool,
+    /// Total (invariant, scenario) pairs after the batch.
+    pub pairs: usize,
+    /// Pairs skipped by footprint disjointness alone.
+    pub prefiltered: usize,
+    /// Pairs whose recomputed fingerprint matched the cache.
+    pub cache_hits: usize,
+    /// Pairs actually re-verified.
+    pub rechecked: usize,
+    /// Cache entries dropped (retired invariants/scenarios).
+    pub retired: usize,
+    /// Verdicts that changed (or appeared), as
+    /// (invariant spec, scenario key, holds, previous holds).
+    pub changed: Vec<(String, String, bool, Option<bool>)>,
+    pub elapsed: Duration,
+}
+
+/// The current verdict of one registered invariant, aggregated over the
+/// scenario sweep in configured order (no-failure first).
+#[derive(Clone, Debug)]
+pub struct InvariantVerdict {
+    pub spec: String,
+    pub holds: bool,
+    /// First violating scenario (key) and its witness length, if any.
+    pub violation: Option<(String, usize)>,
+}
+
+/// A long-lived verification session for one network.
+pub struct NetSession {
+    spec: NetSpec,
+    verifier: Verifier,
+    names: HashMap<String, NodeId>,
+    invariants: Vec<(String, Invariant)>,
+    pipelines: Vec<(String, vmn_net::PipelineSpec, NodeId, NodeId)>,
+    /// Pipeline results, re-checked on every delta (static, cheap).
+    pipeline_holds: Vec<(String, bool)>,
+    classes: HeaderClasses,
+    /// The policy partition as a name-based set-of-sets, for stability
+    /// comparison across epochs.
+    partition: BTreeSet<BTreeSet<String>>,
+    /// (invariant spec, scenario key) → cached verdict.
+    cache: HashMap<(String, String), CacheEntry>,
+}
+
+fn partition_names(verifier: &Verifier) -> BTreeSet<BTreeSet<String>> {
+    let net = verifier.network();
+    verifier
+        .policy()
+        .classes
+        .iter()
+        .map(|class| class.iter().map(|&n| net.topo.node(n).name.clone()).collect())
+        .collect()
+}
+
+/// Scenario key for the implicit no-failure scenario.
+pub const NONE_SCENARIO: &str = "";
+
+impl NetSession {
+    /// Parses, materialises and fully verifies a configuration; every
+    /// (invariant, scenario) pair lands in the verdict cache.
+    pub fn load(config: &str, options: VerifyOptions) -> Result<(NetSession, DeltaReport), String> {
+        let spec = NetSpec::parse(config).map_err(|e| e.to_string())?;
+        let m = spec.materialize().map_err(|e| e.to_string())?;
+        let net = Arc::new(m.net);
+        let verifier = Verifier::from_arc(net.clone(), options).map_err(|e| e.to_string())?;
+        let classes = HeaderClasses::from_network(&net.topo, &net.tables);
+        let partition = partition_names(&verifier);
+        let mut session = NetSession {
+            spec,
+            verifier,
+            names: m.names,
+            invariants: m.invariants,
+            pipelines: m.pipelines,
+            pipeline_holds: Vec::new(),
+            classes,
+            partition,
+            cache: HashMap::new(),
+        };
+        let start = Instant::now();
+        let mut report = DeltaReport {
+            touched: TouchSet::Everything,
+            escalated: false,
+            pairs: 0,
+            prefiltered: 0,
+            cache_hits: 0,
+            rechecked: 0,
+            retired: 0,
+            changed: Vec::new(),
+            elapsed: Duration::ZERO,
+        };
+        session.reconcile(&TouchSet::Everything, &mut report)?;
+        report.elapsed = start.elapsed();
+        Ok((session, report))
+    }
+
+    /// Applies a batch of deltas transactionally: either all apply and
+    /// the report describes the re-verification, or the session is
+    /// unchanged. Batching merges the footprints, so one reconcile pass
+    /// serves the whole batch.
+    pub fn apply(&mut self, deltas: &[Delta]) -> Result<DeltaReport, String> {
+        let start = Instant::now();
+        let mut spec = self.spec.clone();
+        let mut touched = TouchSet::Nothing;
+        for d in deltas {
+            touched = touched.union(spec.apply(d).map_err(|e| e.to_string())?);
+        }
+        let m = spec.materialize().map_err(|e| e.to_string())?;
+        let net = Arc::new(m.net);
+        self.verifier.swap_network(net.clone(), &touched).map_err(|e| format!("{e:?}"))?;
+        self.spec = spec;
+        self.names = m.names;
+        self.invariants = m.invariants;
+        self.pipelines = m.pipelines;
+
+        // The policy partition feeds slice computation: if it moved, a
+        // pair's plan can change even though its old slice is disjoint
+        // from the footprint, so the *prefilter* must not trust
+        // disjointness. (Fingerprints recompute against the new plan
+        // either way — escalation only disables step 2, not step 3.)
+        let mut escalated = false;
+        if !touched.is_nothing() {
+            self.classes = HeaderClasses::from_network(&net.topo, &net.tables);
+            let partition = partition_names(&self.verifier);
+            escalated = partition != self.partition && !matches!(touched, TouchSet::Everything);
+            self.partition = partition;
+        }
+        let effective = if escalated { TouchSet::Everything } else { touched.clone() };
+
+        let mut report = DeltaReport {
+            touched,
+            escalated,
+            pairs: 0,
+            prefiltered: 0,
+            cache_hits: 0,
+            rechecked: 0,
+            retired: 0,
+            changed: Vec::new(),
+            elapsed: Duration::ZERO,
+        };
+        self.reconcile(&effective, &mut report)?;
+        report.elapsed = start.elapsed();
+        Ok(report)
+    }
+
+    /// The scenario sweep in configured order: the no-failure scenario
+    /// first (key `""`), then the registered failure scenarios.
+    pub fn scenario_list(&self) -> Vec<(String, FailureScenario)> {
+        let mut out = vec![(NONE_SCENARIO.to_string(), FailureScenario::none())];
+        for fail in self.spec.fail_specs() {
+            let nodes: Vec<NodeId> =
+                fail.iter().filter_map(|n| self.names.get(n).copied()).collect();
+            out.push((scenario_key(fail), FailureScenario::nodes(nodes)));
+        }
+        out
+    }
+
+    /// Brings the verdict cache in line with the current epoch; see the
+    /// module docs for the prefilter / fingerprint / recheck ladder.
+    fn reconcile(&mut self, effective: &TouchSet, report: &mut DeltaReport) -> Result<(), String> {
+        let scenarios = self.scenario_list();
+        let mut live: BTreeSet<(String, String)> = BTreeSet::new();
+        for (inv_spec, inv) in &self.invariants {
+            for (skey, scenario) in &scenarios {
+                let key = (inv_spec.clone(), skey.clone());
+                live.insert(key.clone());
+                report.pairs += 1;
+
+                if let Some(entry) = self.cache.get(&key) {
+                    if !effective.touches(entry.slice.iter().map(String::as_str)) {
+                        report.prefiltered += 1;
+                        continue;
+                    }
+                }
+                let net = self.verifier.network().clone();
+                let (nodes, k) =
+                    self.verifier.plan_for(inv, scenario).map_err(|e| format!("{e:?}"))?;
+                let fp = verdict_fingerprint(&net, &self.classes, inv, scenario, &nodes, k)
+                    .map_err(|e| format!("{e:?}"))?;
+                let slice = slice_names(&net, &nodes);
+                if let Some(entry) = self.cache.get_mut(&key) {
+                    if entry.fingerprint == fp {
+                        entry.slice = slice;
+                        report.cache_hits += 1;
+                        continue;
+                    }
+                }
+                let was = self.cache.get(&key).map(|e| e.verdict.holds());
+                let r = self
+                    .verifier
+                    .verify_under(inv, vec![scenario.clone()])
+                    .map_err(|e| format!("{e:?}"))?;
+                report.rechecked += 1;
+                let holds = r.verdict.holds();
+                if was != Some(holds) {
+                    report.changed.push((inv_spec.clone(), skey.clone(), holds, was));
+                }
+                self.cache.insert(key, CacheEntry { fingerprint: fp, slice, verdict: r.verdict });
+            }
+        }
+        let before = self.cache.len();
+        self.cache.retain(|k, _| live.contains(k));
+        report.retired = before - self.cache.len();
+
+        self.pipeline_holds.clear();
+        for (spec, p, s, d) in &self.pipelines {
+            let holds =
+                self.verifier.check_pipeline(p, *s, *d).map_err(|e| format!("{e:?}"))?.is_none();
+            self.pipeline_holds.push((spec.clone(), holds));
+        }
+        Ok(())
+    }
+
+    /// Current verdict of every registered reachability invariant,
+    /// aggregated across the scenario sweep in configured order.
+    pub fn verdicts(&self) -> Vec<InvariantVerdict> {
+        let order: Vec<String> = self.scenario_list().into_iter().map(|(k, _)| k).collect();
+        self.invariants
+            .iter()
+            .map(|(spec, _)| {
+                let violation = order.iter().find_map(|skey| {
+                    match &self.cache.get(&(spec.clone(), skey.clone()))?.verdict {
+                        Verdict::Holds => None,
+                        Verdict::Violated { trace, .. } => Some((skey.clone(), trace.steps.len())),
+                    }
+                });
+                InvariantVerdict { spec: spec.clone(), holds: violation.is_none(), violation }
+            })
+            .collect()
+    }
+
+    /// Pipeline-invariant results (spec text, holds).
+    pub fn pipeline_verdicts(&self) -> &[(String, bool)] {
+        &self.pipeline_holds
+    }
+
+    /// The cached verdict for one (invariant spec, scenario key) pair.
+    pub fn cached(&self, inv_spec: &str, scenario_key: &str) -> Option<&CacheEntry> {
+        self.cache.get(&(inv_spec.to_string(), scenario_key.to_string()))
+    }
+
+    pub fn cached_pairs(&self) -> usize {
+        self.cache.len()
+    }
+
+    pub fn verifier(&self) -> &Verifier {
+        &self.verifier
+    }
+
+    pub fn spec(&self) -> &NetSpec {
+        &self.spec
+    }
+
+    pub fn names(&self) -> &HashMap<String, NodeId> {
+        &self.names
+    }
+
+    pub fn invariants(&self) -> &[(String, Invariant)] {
+        &self.invariants
+    }
+}
+
+/// A fleet of named sessions plus the protocol driver.
+pub struct Service {
+    options: VerifyOptions,
+    nets: HashMap<String, NetSession>,
+}
+
+impl Service {
+    pub fn new(options: VerifyOptions) -> Service {
+        Service { options, nets: HashMap::new() }
+    }
+
+    /// Loads (or replaces) a named network from `.vmn` config text.
+    pub fn load(&mut self, name: &str, config: &str) -> Result<DeltaReport, String> {
+        let (session, report) = NetSession::load(config, self.options.clone())?;
+        self.nets.insert(name.to_string(), session);
+        Ok(report)
+    }
+
+    pub fn net(&self, name: &str) -> Option<&NetSession> {
+        self.nets.get(name)
+    }
+
+    pub fn net_mut(&mut self, name: &str) -> Option<&mut NetSession> {
+        self.nets.get_mut(name)
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.nets.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::Delta;
+    use crate::spec::NodeSpec;
+
+    const CONFIG: &str = r"
+host     outside 8.8.8.8
+host     inside  10.0.0.5
+switch   sw
+firewall fw allow 10.0.0.0/8 -> 0.0.0.0/0
+link     outside sw
+link     inside  sw
+link     fw      sw
+autoroute
+steer    sw from outside 0.0.0.0/0 fw prio 10
+steer    sw from inside  0.0.0.0/0 fw prio 10
+verify   flow-isolation outside -> inside
+verify   node-isolation outside -> inside
+";
+
+    #[test]
+    fn load_verifies_every_pair() {
+        let (s, report) = NetSession::load(CONFIG, VerifyOptions::default()).unwrap();
+        assert_eq!(report.pairs, 2); // 2 invariants × 1 scenario (none)
+        assert_eq!(report.rechecked, 2);
+        let v = s.verdicts();
+        assert!(v.iter().find(|iv| iv.spec.starts_with("flow")).unwrap().holds);
+        assert!(!v.iter().find(|iv| iv.spec.starts_with("node")).unwrap().holds);
+    }
+
+    #[test]
+    fn invariant_delta_reuses_cache() {
+        let (mut s, _) = NetSession::load(CONFIG, VerifyOptions::default()).unwrap();
+        let r = s
+            .apply(&[Delta::AddInvariant { spec: "data-isolation inside -> outside".into() }])
+            .unwrap();
+        // The two old pairs are prefiltered (TouchSet::Nothing touches
+        // no slice); only the new invariant's pair is verified.
+        assert_eq!(r.pairs, 3);
+        assert_eq!(r.prefiltered, 2);
+        assert_eq!(r.rechecked, 1);
+        assert_eq!(r.retired, 0);
+        assert!(r.touched.is_nothing());
+    }
+
+    #[test]
+    fn retire_drops_cache_entries() {
+        let (mut s, _) = NetSession::load(CONFIG, VerifyOptions::default()).unwrap();
+        let r = s
+            .apply(&[Delta::RetireInvariant { spec: "node-isolation outside -> inside".into() }])
+            .unwrap();
+        assert_eq!(r.pairs, 1);
+        assert_eq!(r.retired, 1);
+        assert_eq!(r.rechecked, 0);
+        assert_eq!(s.cached_pairs(), 1);
+    }
+
+    #[test]
+    fn disjoint_set_model_is_prefiltered_or_cache_hit() {
+        // Two independent pods behind one core switch; touching pod B's
+        // firewall must not re-verify pod A's invariant.
+        let config = r"
+host a1 10.1.0.1
+host a2 10.1.0.2
+host b1 10.2.0.1
+host b2 10.2.0.2
+switch swa
+switch swb
+switch core
+firewall fwa allow 10.1.0.0/16 -> 0.0.0.0/0
+firewall fwb allow 10.2.0.0/16 -> 0.0.0.0/0
+link a1 swa
+link a2 swa
+link fwa swa
+link b1 swb
+link b2 swb
+link fwb swb
+link swa core
+link swb core
+autoroute
+steer swa from a1 0.0.0.0/0 fwa prio 10
+steer swb from b1 0.0.0.0/0 fwb prio 10
+verify flow-isolation a1 -> a2
+verify flow-isolation b1 -> b2
+";
+        let (mut s, load_report) = NetSession::load(config, VerifyOptions::default()).unwrap();
+        assert_eq!(load_report.rechecked, 2);
+        let r = s
+            .apply(&[Delta::SetModel {
+                name: "fwb".into(),
+                kind: "firewall".into(),
+                args: vec![
+                    "allow".into(),
+                    "10.2.0.0/16".into(),
+                    "->".into(),
+                    "0.0.0.0/0".into(),
+                    ",".into(),
+                    "10.1.0.0/16".into(),
+                    "->".into(),
+                    "10.2.0.0/16".into(),
+                ],
+            }])
+            .unwrap();
+        assert_eq!(r.touched, TouchSet::node("fwb"));
+        // Pod A's pair never re-verifies: prefiltered (slice disjoint
+        // from {fwb}) unless the policy partition moved, in which case
+        // its fingerprint still matches.
+        let a_recheck = r.changed.iter().any(|(inv, _, _, _)| inv.contains("a1"));
+        assert!(!a_recheck, "pod A's verdict must not change: {:?}", r.changed);
+        assert_eq!(r.prefiltered + r.cache_hits, 1, "pod A answered without solving: {r:?}");
+        assert_eq!(r.rechecked, 1, "only pod B re-verifies: {r:?}");
+    }
+
+    #[test]
+    fn structural_delta_rechecks_changed_slices_only_via_fingerprint() {
+        let (mut s, _) = NetSession::load(CONFIG, VerifyOptions::default()).unwrap();
+        // Adding an unconnected host is TouchSet::Everything (structural)
+        // but leaves both slices' delivery intact, so the fingerprints
+        // match and no pair re-solves.
+        let r = s
+            .apply(&[Delta::AddNode(NodeSpec::Host { name: "h9".into(), addr: "9.9.9.9".into() })])
+            .unwrap();
+        assert_eq!(r.touched, TouchSet::Everything);
+        assert_eq!(r.prefiltered, 0);
+        assert_eq!(r.cache_hits, 2, "{r:?}");
+        assert_eq!(r.rechecked, 0, "{r:?}");
+    }
+
+    #[test]
+    fn scenario_delta_verifies_the_new_column() {
+        let (mut s, _) = NetSession::load(CONFIG, VerifyOptions::default()).unwrap();
+        let r = s.apply(&[Delta::AddScenario { fail: vec!["fw".into()] }]).unwrap();
+        assert_eq!(r.pairs, 4);
+        assert_eq!(r.prefiltered, 2);
+        assert_eq!(r.rechecked, 2);
+        // The firewall failure breaks flow isolation (no backup path
+        // configured, traffic falls through directly).
+        let v = s.verdicts();
+        let flow = v.iter().find(|iv| iv.spec.starts_with("flow")).unwrap();
+        assert!(!flow.holds);
+        assert_eq!(flow.violation.as_ref().unwrap().0, "fw");
+        // Removing the scenario restores the verdict and retires the
+        // column's cache entries.
+        let r = s.apply(&[Delta::RemoveScenario { fail: vec!["fw".into()] }]).unwrap();
+        assert_eq!(r.retired, 2);
+        assert!(s.verdicts().iter().find(|iv| iv.spec.starts_with("flow")).unwrap().holds);
+    }
+
+    #[test]
+    fn service_fleet_holds_independent_nets() {
+        let mut svc = Service::new(VerifyOptions::default());
+        svc.load("prod", CONFIG).unwrap();
+        svc.load("staging", CONFIG).unwrap();
+        svc.net_mut("staging")
+            .unwrap()
+            .apply(&[Delta::AddScenario { fail: vec!["fw".into()] }])
+            .unwrap();
+        assert_eq!(svc.net("prod").unwrap().cached_pairs(), 2);
+        assert_eq!(svc.net("staging").unwrap().cached_pairs(), 4);
+        let mut names: Vec<&str> = svc.names().collect();
+        names.sort_unstable();
+        assert_eq!(names, ["prod", "staging"]);
+    }
+}

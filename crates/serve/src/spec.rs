@@ -1,0 +1,595 @@
+//! The symbolic `.vmn` network description.
+//!
+//! The CLI used to parse `.vmn` text straight into a [`Network`]; a
+//! *serving* verifier needs the description to stay symbolic so deltas
+//! can edit it and re-materialise: nodes are stored by name in insertion
+//! order (so purely additive deltas keep existing node ids stable),
+//! routes and models keep their textual arguments, and
+//! [`NetSpec::materialize`] rebuilds the concrete [`Network`] — plus the
+//! name→id map and resolved invariants — for the current epoch.
+//!
+//! The grammar is unchanged (see the crate-level docs of
+//! `vmn-cli`'s `config` module, which now delegates here):
+//!
+//! ```text
+//! host     outside 8.8.8.8
+//! switch   sw
+//! firewall fw allow 10.0.0.0/8 -> 0.0.0.0/0
+//! link     outside sw
+//! route    sw 10.0.0.5/32 inside
+//! steer    sw from outside 0.0.0.0/0 fw prio 10
+//! autoroute
+//! fail     fw
+//! verify   node-isolation outside -> inside
+//! verify   pipeline outside -> inside via firewall
+//! ```
+
+use std::collections::HashMap;
+use vmn::{Invariant, Network};
+use vmn_mbox::models;
+use vmn_net::{Address, FailureScenario, NodeId, Prefix, RoutingConfig, Rule, Topology};
+
+/// Spec error with source-line information (line 0 for errors raised by
+/// deltas, which have no source line).
+#[derive(Debug, Clone)]
+pub struct SpecError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+pub(crate) fn err(line: usize, message: impl Into<String>) -> SpecError {
+    SpecError { line, message: message.into() }
+}
+
+/// One node of the symbolic description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeSpec {
+    Host {
+        name: String,
+        addr: String,
+    },
+    Switch {
+        name: String,
+    },
+    /// `kind` is the middlebox keyword (`firewall`, `nat`, …); `args`
+    /// the raw configuration tokens after the name.
+    Mbox {
+        name: String,
+        kind: String,
+        args: Vec<String>,
+    },
+}
+
+impl NodeSpec {
+    pub fn name(&self) -> &str {
+        match self {
+            NodeSpec::Host { name, .. }
+            | NodeSpec::Switch { name }
+            | NodeSpec::Mbox { name, .. } => name,
+        }
+    }
+}
+
+/// `route <switch> <prefix> <next-hop> [prio N]`
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteSpec {
+    pub switch: String,
+    pub prefix: String,
+    pub next: String,
+    pub prio: i32,
+}
+
+/// `steer <switch> from <node> <prefix> <next-hop> [prio N]`
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SteerSpec {
+    pub switch: String,
+    pub from: String,
+    pub prefix: String,
+    pub next: String,
+    pub prio: i32,
+}
+
+/// The symbolic network description: everything needed to rebuild the
+/// concrete network, in insertion order.
+#[derive(Clone, Debug, Default)]
+pub struct NetSpec {
+    pub autoroute: bool,
+    pub(crate) nodes: Vec<(usize, NodeSpec)>,
+    pub(crate) links: Vec<(usize, String, String)>,
+    pub(crate) routes: Vec<(usize, RouteSpec)>,
+    pub(crate) steers: Vec<(usize, SteerSpec)>,
+    /// Failure scenarios, as lists of failed node names.
+    pub(crate) fails: Vec<(usize, Vec<String>)>,
+    /// `verify` lines (invariants and pipeline invariants), normalised
+    /// to single-space token separation so textual retire-by-spec
+    /// matching is reliable.
+    pub(crate) verifies: Vec<(usize, String)>,
+}
+
+/// A materialised epoch: the concrete network plus the name bindings and
+/// resolved invariants of the current spec.
+pub struct Materialized {
+    pub net: Network,
+    pub names: HashMap<String, NodeId>,
+    /// Reachability invariants: (normalised spec text, resolved).
+    pub invariants: Vec<(String, Invariant)>,
+    /// Pipeline invariants: (normalised spec text, spec, src, dst).
+    pub pipelines: Vec<(String, vmn_net::PipelineSpec, NodeId, NodeId)>,
+}
+
+impl NetSpec {
+    /// Parses a `.vmn` document into the symbolic form. Syntax (keyword
+    /// shapes, address/prefix formats) is checked here; name resolution
+    /// happens at [`NetSpec::materialize`] — but note the materialise
+    /// errors keep the offending source line.
+    pub fn parse(text: &str) -> Result<NetSpec, SpecError> {
+        let mut spec = NetSpec::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut tok = line.split_whitespace();
+            let keyword = tok.next().expect("non-empty line");
+            let rest: Vec<String> = tok.map(str::to_string).collect();
+            spec.add_line(lineno, keyword, rest)?;
+        }
+        Ok(spec)
+    }
+
+    fn add_line(
+        &mut self,
+        lineno: usize,
+        keyword: &str,
+        rest: Vec<String>,
+    ) -> Result<(), SpecError> {
+        match keyword {
+            "host" => {
+                let [name, addr] = two(lineno, &rest, "host <name> <address>")?;
+                let _: Address =
+                    addr.parse().map_err(|e| err(lineno, format!("bad address: {e}")))?;
+                self.nodes.push((lineno, NodeSpec::Host { name, addr }));
+            }
+            "switch" => {
+                let name = one(lineno, &rest, "switch <name>")?;
+                self.nodes.push((lineno, NodeSpec::Switch { name }));
+            }
+            "firewall" | "acl-firewall" | "nat" | "cache" | "idps" | "ids" | "scrubber"
+            | "gateway" | "wan-optimizer" | "lb" => {
+                if rest.is_empty() {
+                    return Err(err(lineno, format!("{keyword} needs a name")));
+                }
+                let name = rest[0].clone();
+                let args = rest[1..].to_vec();
+                // Syntax-check the model arguments eagerly so the error
+                // carries this line, not a later materialise.
+                build_model(lineno, keyword, &name, &args)?;
+                owned_addresses(keyword, &args).map_err(|m| err(lineno, m))?;
+                self.nodes.push((lineno, NodeSpec::Mbox { name, kind: keyword.to_string(), args }));
+            }
+            "link" => {
+                let [a, b] = two(lineno, &rest, "link <a> <b>")?;
+                self.links.push((lineno, a, b));
+            }
+            "route" => {
+                // route <switch> <prefix> <next> [prio N]
+                if rest.len() < 3 {
+                    return Err(err(lineno, "route <switch> <prefix> <next-hop> [prio N]"));
+                }
+                let _: Prefix =
+                    rest[1].parse().map_err(|e| err(lineno, format!("bad prefix: {e}")))?;
+                let prio = parse_prio(lineno, &rest[3..])?;
+                self.routes.push((
+                    lineno,
+                    RouteSpec {
+                        switch: rest[0].clone(),
+                        prefix: rest[1].clone(),
+                        next: rest[2].clone(),
+                        prio,
+                    },
+                ));
+            }
+            "steer" => {
+                // steer <switch> from <node> <prefix> <next> [prio N]
+                if rest.len() < 5 || rest[1] != "from" {
+                    return Err(err(
+                        lineno,
+                        "steer <switch> from <node> <prefix> <next-hop> [prio N]",
+                    ));
+                }
+                let _: Prefix =
+                    rest[3].parse().map_err(|e| err(lineno, format!("bad prefix: {e}")))?;
+                let prio = parse_prio(lineno, &rest[5..])?;
+                self.steers.push((
+                    lineno,
+                    SteerSpec {
+                        switch: rest[0].clone(),
+                        from: rest[2].clone(),
+                        prefix: rest[3].clone(),
+                        next: rest[4].clone(),
+                        prio,
+                    },
+                ));
+            }
+            "autoroute" => self.autoroute = true,
+            "fail" => self.fails.push((lineno, rest)),
+            "verify" => self.verifies.push((lineno, rest.join(" "))),
+            other => return Err(err(lineno, format!("unknown keyword {other:?}"))),
+        }
+        Ok(())
+    }
+
+    /// The normalised invariant/pipeline spec texts currently registered.
+    pub fn verify_specs(&self) -> impl Iterator<Item = &str> {
+        self.verifies.iter().map(|(_, s)| s.as_str())
+    }
+
+    /// The failure scenarios currently registered, as failed-name lists.
+    pub fn fail_specs(&self) -> impl Iterator<Item = &[String]> {
+        self.fails.iter().map(|(_, names)| names.as_slice())
+    }
+
+    pub(crate) fn node_spec(&self, name: &str) -> Option<&NodeSpec> {
+        self.nodes.iter().map(|(_, n)| n).find(|n| n.name() == name)
+    }
+
+    /// Rebuilds the concrete network for the current spec state.
+    ///
+    /// Node ids are assigned in spec insertion order, so additive deltas
+    /// leave existing ids untouched; removals shift later ids, which is
+    /// why all daemon cache bookkeeping works on names.
+    pub fn materialize(&self) -> Result<Materialized, SpecError> {
+        let mut topo = Topology::new();
+        let mut names: HashMap<String, NodeId> = HashMap::new();
+        for (lineno, node) in &self.nodes {
+            let id = match node {
+                NodeSpec::Host { name, addr } => {
+                    let a: Address =
+                        addr.parse().map_err(|e| err(*lineno, format!("bad address: {e}")))?;
+                    topo.add_host(name, a)
+                }
+                NodeSpec::Switch { name } => topo.add_switch(name),
+                NodeSpec::Mbox { name, kind, args } => {
+                    let addresses = owned_addresses(kind, args).map_err(|m| err(*lineno, m))?;
+                    topo.add_middlebox(name, kind, addresses)
+                }
+            };
+            if names.insert(node.name().to_string(), id).is_some() {
+                return Err(err(*lineno, format!("duplicate node name {:?}", node.name())));
+            }
+        }
+        let lookup = |line: usize, name: &str| -> Result<NodeId, SpecError> {
+            names.get(name).copied().ok_or_else(|| err(line, format!("unknown node {name:?}")))
+        };
+
+        for (lineno, a, b) in &self.links {
+            let na = lookup(*lineno, a)?;
+            let nb = lookup(*lineno, b)?;
+            topo.add_link(na, nb);
+        }
+
+        let mut tables = if self.autoroute {
+            let mut rc = RoutingConfig::new();
+            rc.host_routes(&topo);
+            rc.build(&topo, &FailureScenario::none())
+        } else {
+            vmn_net::ForwardingTables::new()
+        };
+        for (lineno, r) in &self.routes {
+            let sw = lookup(*lineno, &r.switch)?;
+            let prefix: Prefix =
+                r.prefix.parse().map_err(|e| err(*lineno, format!("bad prefix: {e}")))?;
+            let next = lookup(*lineno, &r.next)?;
+            tables.add_rule(sw, Rule::new(prefix, next).with_priority(r.prio));
+        }
+        for (lineno, s) in &self.steers {
+            let sw = lookup(*lineno, &s.switch)?;
+            let from = lookup(*lineno, &s.from)?;
+            let prefix: Prefix =
+                s.prefix.parse().map_err(|e| err(*lineno, format!("bad prefix: {e}")))?;
+            let next = lookup(*lineno, &s.next)?;
+            tables.add_rule(sw, Rule::from_neighbor(prefix, from, next).with_priority(s.prio));
+        }
+
+        let mut net = Network::new(topo, tables);
+        for (lineno, node) in &self.nodes {
+            if let NodeSpec::Mbox { name, kind, args } = node {
+                let id = lookup(*lineno, name)?;
+                net.set_model(id, build_model(*lineno, kind, name, args)?);
+            }
+        }
+        for (lineno, fail) in &self.fails {
+            let mut nodes = Vec::new();
+            for name in fail {
+                nodes.push(lookup(*lineno, name)?);
+            }
+            net.add_scenario(FailureScenario::nodes(nodes));
+        }
+
+        let mut invariants = Vec::new();
+        let mut pipelines = Vec::new();
+        for (lineno, spec) in &self.verifies {
+            let toks: Vec<&str> = spec.split_whitespace().collect();
+            if toks.first() == Some(&"pipeline") {
+                // verify pipeline <src> -> <dst> via <type> [<type>…]
+                match toks.as_slice() {
+                    [_, src, "->", dst, "via", types @ ..] if !types.is_empty() => {
+                        let s = lookup(*lineno, src)?;
+                        let d = lookup(*lineno, dst)?;
+                        let spec_obj = vmn_net::PipelineSpec::new(types.iter().copied());
+                        pipelines.push((spec.clone(), spec_obj, s, d));
+                    }
+                    _ => {
+                        return Err(err(
+                            *lineno,
+                            "usage: verify pipeline <src> -> <dst> via <mbox-type>…",
+                        ))
+                    }
+                }
+            } else {
+                let inv = parse_invariant(&names, *lineno, spec)?;
+                invariants.push((spec.clone(), inv));
+            }
+        }
+
+        Ok(Materialized { net, names, invariants, pipelines })
+    }
+}
+
+fn one(line: usize, rest: &[String], usage: &str) -> Result<String, SpecError> {
+    match rest {
+        [a] => Ok(a.clone()),
+        _ => Err(err(line, format!("usage: {usage}"))),
+    }
+}
+
+fn two(line: usize, rest: &[String], usage: &str) -> Result<[String; 2], SpecError> {
+    match rest {
+        [a, b] => Ok([a.clone(), b.clone()]),
+        _ => Err(err(line, format!("usage: {usage}"))),
+    }
+}
+
+fn parse_prio(line: usize, rest: &[String]) -> Result<i32, SpecError> {
+    match rest {
+        [] => Ok(0),
+        [kw, n] if kw == "prio" => n.parse().map_err(|_| err(line, format!("bad priority {n:?}"))),
+        _ => Err(err(line, "expected `prio N` or nothing")),
+    }
+}
+
+/// Addresses a middlebox owns, for the topology (NAT external, LB VIP).
+pub fn owned_addresses(kind: &str, args: &[String]) -> Result<Vec<Address>, String> {
+    let find = |key: &str| -> Option<&str> {
+        args.iter().position(|t| t == key).and_then(|i| args.get(i + 1)).map(String::as_str)
+    };
+    match kind {
+        "nat" => {
+            let ext = find("external").ok_or("nat needs `external <address>`")?;
+            Ok(vec![ext.parse().map_err(|e| format!("bad external address: {e}"))?])
+        }
+        "lb" => {
+            let vip = find("vip").ok_or("lb needs `vip <address>`")?;
+            Ok(vec![vip.parse().map_err(|e| format!("bad vip: {e}"))?])
+        }
+        _ => Ok(Vec::new()),
+    }
+}
+
+/// Parses `A/B -> C/D` pair lists separated by `,`.
+fn parse_pairs(line: usize, toks: &[String]) -> Result<Vec<(Prefix, Prefix)>, SpecError> {
+    let joined = toks.join(" ");
+    let mut out = Vec::new();
+    for chunk in joined.split(',') {
+        let chunk = chunk.trim();
+        if chunk.is_empty() {
+            continue;
+        }
+        let (a, b) = chunk
+            .split_once("->")
+            .ok_or_else(|| err(line, format!("expected `src -> dst`, got {chunk:?}")))?;
+        let pa: Prefix =
+            a.trim().parse().map_err(|e| err(line, format!("bad prefix {a:?}: {e}")))?;
+        let pb: Prefix =
+            b.trim().parse().map_err(|e| err(line, format!("bad prefix {b:?}: {e}")))?;
+        out.push((pa, pb));
+    }
+    Ok(out)
+}
+
+/// Builds the middlebox model for a node line / set-model delta.
+pub fn build_model(
+    line: usize,
+    kind: &str,
+    name: &str,
+    args: &[String],
+) -> Result<vmn_mbox::MboxModel, SpecError> {
+    let find = |key: &str| -> Option<usize> { args.iter().position(|t| t == key) };
+    match kind {
+        "firewall" => {
+            let acl = match find("allow") {
+                Some(i) => parse_pairs(line, &args[i + 1..])?,
+                None => Vec::new(),
+            };
+            Ok(models::learning_firewall(kind, acl))
+        }
+        "acl-firewall" => {
+            let acl = match find("allow") {
+                Some(i) => parse_pairs(line, &args[i + 1..])?,
+                None => Vec::new(),
+            };
+            Ok(models::acl_firewall(kind, acl))
+        }
+        "nat" => {
+            let internal = find("internal")
+                .and_then(|i| args.get(i + 1))
+                .ok_or_else(|| err(line, "nat needs `internal <prefix>`"))?;
+            let external = find("external")
+                .and_then(|i| args.get(i + 1))
+                .ok_or_else(|| err(line, "nat needs `external <address>`"))?;
+            Ok(models::nat(
+                kind,
+                internal.parse().map_err(|e| err(line, format!("bad prefix: {e}")))?,
+                external.parse().map_err(|e| err(line, format!("bad address: {e}")))?,
+            ))
+        }
+        "cache" => {
+            let servers_at = find("servers")
+                .ok_or_else(|| err(line, "cache needs `servers <prefix>[,<prefix>…]`"))?;
+            let deny_at = find("deny");
+            let servers_end = deny_at.unwrap_or(args.len());
+            let mut servers = Vec::new();
+            for t in args[servers_at + 1..servers_end].join(" ").split(',') {
+                let t = t.trim();
+                if t.is_empty() {
+                    continue;
+                }
+                servers.push(t.parse().map_err(|e| err(line, format!("bad prefix {t:?}: {e}")))?);
+            }
+            let deny = match deny_at {
+                Some(i) => parse_pairs(line, &args[i + 1..])?,
+                None => Vec::new(),
+            };
+            Ok(models::content_cache(kind, servers, deny))
+        }
+        "idps" => Ok(models::idps(kind)),
+        "ids" => Ok(models::ids_monitor(kind)),
+        "scrubber" => Ok(models::scrubber(kind)),
+        "gateway" => Ok(models::gateway(kind)),
+        "wan-optimizer" => Ok(models::wan_optimizer(kind)),
+        "lb" => {
+            let vip = find("vip")
+                .and_then(|i| args.get(i + 1))
+                .ok_or_else(|| err(line, "lb needs `vip <address>`"))?;
+            let backends_at =
+                find("backends").ok_or_else(|| err(line, "lb needs `backends <a>,<b>…`"))?;
+            let mut backends = Vec::new();
+            for t in args[backends_at + 1..].join(" ").split(',') {
+                let t = t.trim();
+                if t.is_empty() {
+                    continue;
+                }
+                backends.push(t.parse().map_err(|e| err(line, format!("bad address {t:?}: {e}")))?);
+            }
+            Ok(models::load_balancer(
+                kind,
+                vip.parse().map_err(|e| err(line, format!("bad vip: {e}")))?,
+                backends,
+            ))
+        }
+        other => Err(err(line, format!("unknown middlebox kind {other:?} for {name}"))),
+    }
+}
+
+/// Parses a reachability-invariant spec (`node-isolation a -> b`, …).
+pub fn parse_invariant(
+    names: &HashMap<String, NodeId>,
+    line: usize,
+    spec: &str,
+) -> Result<Invariant, SpecError> {
+    let lookup = |name: &str| -> Result<NodeId, SpecError> {
+        names.get(name).copied().ok_or_else(|| err(line, format!("unknown node {name:?}")))
+    };
+    let toks: Vec<&str> = spec.split_whitespace().collect();
+    match toks.as_slice() {
+        [kind, src, "->", dst, rest @ ..] => {
+            let s = lookup(src)?;
+            let d = lookup(dst)?;
+            match (*kind, rest) {
+                ("node-isolation", []) => Ok(Invariant::NodeIsolation { src: s, dst: d }),
+                ("flow-isolation", []) => Ok(Invariant::FlowIsolation { src: s, dst: d }),
+                ("data-isolation", []) => Ok(Invariant::DataIsolation { origin: s, dst: d }),
+                ("traversal", ["via", boxes @ ..]) if !boxes.is_empty() => {
+                    let mut through = Vec::new();
+                    for b in boxes {
+                        through.push(lookup(b)?);
+                    }
+                    Ok(Invariant::Traversal { dst: d, through, from: Some(s) })
+                }
+                _ => Err(err(line, format!("bad invariant spec {spec:?}"))),
+            }
+        }
+        _ => Err(err(
+            line,
+            "usage: verify <kind> <src> -> <dst> [via <mbox>…] \
+             where kind is node-isolation | flow-isolation | data-isolation | traversal",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r"
+host     outside 8.8.8.8
+host     inside  10.0.0.5
+switch   sw
+firewall fw allow 10.0.0.0/8 -> 0.0.0.0/0
+link     outside sw
+link     inside  sw
+link     fw      sw
+autoroute
+steer    sw from outside 0.0.0.0/0 fw prio 10
+fail     fw
+verify   node-isolation outside -> inside
+verify   pipeline outside -> inside via firewall
+";
+
+    #[test]
+    fn parse_and_materialize_roundtrip() {
+        let spec = NetSpec::parse(SAMPLE).unwrap();
+        let m = spec.materialize().unwrap();
+        assert_eq!(m.net.topo.hosts().count(), 2);
+        assert_eq!(m.net.topo.middleboxes().count(), 1);
+        assert_eq!(m.invariants.len(), 1);
+        assert_eq!(m.pipelines.len(), 1);
+        assert_eq!(m.net.scenarios.len(), 1);
+        m.net.validate().expect("models installed");
+        // Ids are insertion-ordered, so re-materialising is stable.
+        let m2 = spec.materialize().unwrap();
+        assert_eq!(m.names, m2.names);
+    }
+
+    #[test]
+    fn errors_carry_source_lines() {
+        let e = NetSpec::parse("host a 1.2.3.4\nlink a ghost\n")
+            .unwrap()
+            .materialize()
+            .map(|_| ())
+            .expect_err("unknown node");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("ghost"));
+
+        let e = NetSpec::parse("host a 1.2.3.4\nhost a 1.2.3.5\n")
+            .unwrap()
+            .materialize()
+            .map(|_| ())
+            .expect_err("duplicate");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("duplicate"));
+
+        let e = NetSpec::parse("frobnicate x\n").expect_err("bad keyword");
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn model_argument_errors_are_parse_time() {
+        let e = NetSpec::parse("nat n1 internal 10.0.0.0/8\n").expect_err("missing external");
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("external"));
+    }
+}

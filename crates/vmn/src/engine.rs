@@ -7,9 +7,10 @@ use crate::network::Network;
 use crate::policy::{group_by_symmetry, PolicyClasses};
 use crate::slice::{cluster_slices, compute_slice, first_stateful_middlebox, stateless_slice};
 use crate::trace::{StepKind, Trace, TraceStep};
-use std::collections::HashMap;
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+use vmn_analysis::TouchSet;
 use vmn_bdd::dataplane::{DataplaneError, Outcome, Query};
 use vmn_bdd::{BddStats, Dataplane};
 use vmn_check::CertificateBundle;
@@ -324,6 +325,22 @@ impl SessionPool {
         Self::lock(&self.idle).values().map(Vec::len).sum()
     }
 
+    /// Number of keys the cost model currently tracks.
+    fn cost_entries(&self) -> usize {
+        Self::lock(&self.costs).len()
+    }
+
+    /// Drops idle sessions *and their cost-model entries* for every key
+    /// `stale` selects. Evicting the cost entries together with the
+    /// sessions is what keeps `costs` bounded in a long-lived process:
+    /// a retired key's node set can never be requested again (the nodes
+    /// changed behaviour or identity), so its EWMA would otherwise sit
+    /// in the map forever.
+    fn retire<F: Fn(&SessionKey) -> bool>(&self, stale: F) {
+        Self::lock(&self.idle).retain(|k, _| !stale(k));
+        Self::lock(&self.costs).retain(|k, _| !stale(k));
+    }
+
     /// Pops an idle session for `key` if the cost model predicts a warm
     /// start wins; when it predicts a loss, any idle sessions for the key
     /// are dropped (their learnt databases are dead weight) and `None`
@@ -360,9 +377,15 @@ impl SessionPool {
     }
 }
 
-/// The VMN verifier for one network.
-pub struct Verifier<'n> {
-    net: &'n Network,
+/// The VMN verifier for one network epoch.
+///
+/// The verifier *owns* its network (behind an [`Arc`]), so long-lived
+/// holders — the `vmn serve` daemon — can apply configuration deltas by
+/// swapping a mutated network in with [`Verifier::swap_network`] while
+/// keeping every warmed solver session the delta's
+/// [`TouchSet`](vmn_analysis::TouchSet) proves untouched.
+pub struct Verifier {
+    net: Arc<Network>,
     options: VerifyOptions,
     policy: PolicyClasses,
     /// Live solver sessions (scenario-/invariant-free skeletons plus
@@ -430,14 +453,76 @@ fn witness_to_trace(w: &vmn_bdd::Witness) -> Trace {
     Trace { steps }
 }
 
-impl<'n> Verifier<'n> {
-    pub fn new(net: &'n Network, options: VerifyOptions) -> Result<Verifier<'n>, VerifyError> {
+impl Verifier {
+    pub fn new(net: &Network, options: VerifyOptions) -> Result<Verifier, VerifyError> {
+        Self::from_arc(Arc::new(net.clone()), options)
+    }
+
+    /// Builds a verifier that shares an already-owned network (the
+    /// daemon materialises each epoch once and hands the same `Arc` to
+    /// the verifier and its own bookkeeping).
+    pub fn from_arc(net: Arc<Network>, options: VerifyOptions) -> Result<Verifier, VerifyError> {
         net.validate().map_err(VerifyError::InvalidNetwork)?;
         let policy = match &options.policy_hint {
             Some(groups) => PolicyClasses::from_groups(groups.clone()),
-            None => PolicyClasses::compute(net),
+            None => PolicyClasses::compute(&net),
         };
         Ok(Verifier { net, options, policy, pool: SessionPool::new(), bdd: Mutex::new(None) })
+    }
+
+    /// The network epoch this verifier currently answers for.
+    pub fn network(&self) -> &Arc<Network> {
+        &self.net
+    }
+
+    /// Swaps in a new network epoch, retiring exactly the pooled state
+    /// the delta's footprint invalidates:
+    ///
+    /// * [`TouchSet::Nothing`] — invariants/scenarios changed but no
+    ///   node's behaviour did: every session, cost entry and the BDD
+    ///   dataplane survive (both register new scenarios and invariants
+    ///   lazily).
+    /// * [`TouchSet::Nodes`] — a model swap: sessions (and their cost
+    ///   entries) whose node set contains a touched node are retired;
+    ///   the rest keep their skeletons, which encode only their own
+    ///   nodes' models plus delivery behaviour — and the topology and
+    ///   tables are unchanged by contract for this variant. The BDD
+    ///   dataplane caches per-middlebox transfer predicates, so it is
+    ///   dropped and rebuilt lazily.
+    /// * [`TouchSet::Everything`] — structural change: node identity,
+    ///   header classes and delivery may all have moved; every pooled
+    ///   session, cost entry and the dataplane are retired.
+    ///
+    /// Policy classes are recomputed (unless pinned by
+    /// [`VerifyOptions::policy_hint`]) for any non-`Nothing` touch.
+    pub fn swap_network(
+        &mut self,
+        net: Arc<Network>,
+        touched: &TouchSet,
+    ) -> Result<(), VerifyError> {
+        net.validate().map_err(VerifyError::InvalidNetwork)?;
+        match touched {
+            TouchSet::Nothing => {}
+            TouchSet::Everything => self.pool.retire(|_| true),
+            TouchSet::Nodes(names) => {
+                // Names resolve identically on the old and new topology
+                // for this variant (the contract is "models changed,
+                // structure did not"); unknown names simply match no key.
+                let ids: HashSet<NodeId> =
+                    names.iter().filter_map(|n| net.topo.by_name(n).ok()).collect();
+                self.pool.retire(|(nodes, _)| nodes.iter().any(|n| ids.contains(n)));
+            }
+        }
+        if !touched.is_nothing() {
+            self.policy = match &self.options.policy_hint {
+                Some(groups) => PolicyClasses::from_groups(groups.clone()),
+                None => PolicyClasses::compute(&net),
+            };
+            *self.bdd.get_mut().unwrap_or_else(PoisonError::into_inner) = None;
+            self.bdd.clear_poison();
+        }
+        self.net = net;
+        Ok(())
     }
 
     pub fn policy(&self) -> &PolicyClasses {
@@ -447,6 +532,13 @@ impl<'n> Verifier<'n> {
     /// Number of idle sessions currently pooled (diagnostics/tests).
     pub fn pooled_sessions(&self) -> usize {
         self.pool.pooled()
+    }
+
+    /// Number of (node-set, bound) keys the session pool's cost model
+    /// tracks. Bounded in a long-lived process: [`Verifier::swap_network`]
+    /// evicts entries together with the sessions they model.
+    pub fn cost_model_entries(&self) -> usize {
+        self.pool.cost_entries()
     }
 
     /// Checks a session for `(nodes, k)` out of the pool, building the
@@ -471,7 +563,7 @@ impl<'n> Verifier<'n> {
                 return Ok((enc, true));
             }
         }
-        let mut enc = encoder::encode_skeleton(self.net, nodes, k)?;
+        let mut enc = encoder::encode_skeleton(&self.net, nodes, k)?;
         if self.options.emit_proofs {
             // Legal here (and only here): clauses reach the SAT core
             // during lazy lowering at check time, so a freshly encoded
@@ -503,7 +595,7 @@ impl<'n> Verifier<'n> {
         match self.options.backend {
             Backend::Smt => Ok(false),
             Backend::Auto => {
-                Ok(!self.options.emit_proofs && stateless_slice(self.net, scenario, nodes))
+                Ok(!self.options.emit_proofs && stateless_slice(&self.net, scenario, nodes))
             }
             Backend::Bdd => {
                 if self.options.emit_proofs {
@@ -513,7 +605,7 @@ impl<'n> Verifier<'n> {
                             .into(),
                     ));
                 }
-                if let Some(m) = first_stateful_middlebox(self.net, scenario, nodes) {
+                if let Some(m) = first_stateful_middlebox(&self.net, scenario, nodes) {
                     return Err(VerifyError::Bdd(format!(
                         "slice middlebox '{}' holds mutable state; the bdd backend only \
                          answers stateless slices",
@@ -553,7 +645,20 @@ impl<'n> Verifier<'n> {
                 Query::Bypass { dst: *dst, through: through.clone(), from: *from }
             }
         };
-        let mut guard = SessionPool::lock(&self.bdd);
+        // Unlike the pool's maps, a dataplane caught mid-mutation by a
+        // panicking thread is not obviously a valid cache state, so
+        // poison recovery here *discards* the instance instead of
+        // trusting it: the next check rebuilds lazily, which is exactly
+        // the already-supported cold path.
+        let mut guard = match self.bdd.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                let mut g = poisoned.into_inner();
+                *g = None;
+                self.bdd.clear_poison();
+                g
+            }
+        };
         if guard.is_none() {
             *guard = Some(Dataplane::new(&self.net.topo, &self.net.tables));
         }
@@ -582,6 +687,20 @@ impl<'n> Verifier<'n> {
         }
     }
 
+    /// The per-scenario verification plan — the slice (or whole terminal
+    /// set) and trace bound [`Verifier::verify`] would use for this
+    /// (invariant, scenario) pair. Public because the `vmn_serve` daemon
+    /// fingerprints cached verdicts over exactly these inputs
+    /// (`vmn::slice::verdict_fingerprint`), and the fingerprint is only
+    /// sound if it is computed against the plan the engine actually runs.
+    pub fn plan_for(
+        &self,
+        inv: &Invariant,
+        scenario: &FailureScenario,
+    ) -> Result<(Vec<NodeId>, usize), VerifyError> {
+        self.plan(inv, scenario)
+    }
+
     /// The per-scenario verification plan: slice (or whole terminal set)
     /// and trace bound.
     fn plan(
@@ -590,14 +709,14 @@ impl<'n> Verifier<'n> {
         scenario: &FailureScenario,
     ) -> Result<(Vec<NodeId>, usize), VerifyError> {
         let mut nodes: Vec<NodeId> = if self.options.use_slices {
-            compute_slice(self.net, scenario, inv, &self.policy)?
+            compute_slice(&self.net, scenario, inv, &self.policy)?
         } else {
             self.net.topo.terminals().collect()
         };
         nodes.sort();
         nodes.dedup();
         let k = self.options.steps_override.unwrap_or_else(|| {
-            bounds::trace_bound(self.net, scenario, inv, &nodes, self.options.slack)
+            bounds::trace_bound(&self.net, scenario, inv, &nodes, self.options.slack)
         });
         Ok((nodes, k))
     }
@@ -629,8 +748,21 @@ impl<'n> Verifier<'n> {
     /// the next invariant with the same key, governed by the pool's
     /// per-key cost model.
     pub fn verify(&self, inv: &Invariant) -> Result<Report, VerifyError> {
+        self.verify_under(inv, self.net.all_scenarios())
+    }
+
+    /// [`Verifier::verify`] restricted to an explicit scenario list (in
+    /// the given order — the first violating scenario is the first in
+    /// `scenarios`, as in the full sweep). The daemon uses this to
+    /// re-check exactly the (invariant, scenario) pairs a delta touched;
+    /// an empty list trivially holds. Scenarios need not be registered on
+    /// the network.
+    pub fn verify_under(
+        &self,
+        inv: &Invariant,
+        scenarios: Vec<FailureScenario>,
+    ) -> Result<Report, VerifyError> {
         let start = Instant::now();
-        let scenarios = self.net.all_scenarios();
         let emit_proofs = self.options.emit_proofs;
         let report = |verdict, cost: SweepCost, certificate| Report {
             invariant: inv.clone(),
@@ -652,6 +784,10 @@ impl<'n> Verifier<'n> {
         let mut cert =
             emit_proofs.then(|| CertificateBundle { label: inv.to_string(), sessions: Vec::new() });
 
+        if scenarios.is_empty() {
+            return Ok(report(Verdict::Holds, SweepCost::default(), cert));
+        }
+
         if !self.options.incremental {
             // From-scratch baseline: fresh slice, encoder and solver per
             // scenario (what the `scenario_sweep` bench compares against).
@@ -669,7 +805,7 @@ impl<'n> Verifier<'n> {
                     continue;
                 }
                 cost.smt_scenarios += 1;
-                let mut enc = encoder::encode(self.net, &scenario, &nodes, inv, k)?;
+                let mut enc = encoder::encode(&self.net, &scenario, &nodes, inv, k)?;
                 if emit_proofs {
                     enc.ctx.enable_proofs();
                 }
@@ -819,7 +955,7 @@ impl<'n> Verifier<'n> {
                 let (enc, ..) = state.session.as_mut().expect("installed above");
                 cost.scenarios_checked += 1;
                 cost.smt_scenarios += 1;
-                match enc.check_invariant_scenario(self.net, inv, &scenario) {
+                match enc.check_invariant_scenario(&self.net, inv, &scenario) {
                     Ok(SatResult::Sat) => {
                         outcome = Ok(Some((Trace::extract(enc), scenario)));
                         break;
@@ -880,7 +1016,7 @@ impl<'n> Verifier<'n> {
         invariants: &[Invariant],
         threads: usize,
     ) -> Result<Vec<Report>, VerifyError> {
-        let groups = group_by_symmetry(self.net, &self.policy, invariants);
+        let groups = group_by_symmetry(&self.net, &self.policy, invariants);
         let reps: Vec<usize> = groups.iter().map(|g| g[0]).collect();
 
         // Verify representatives (possibly in parallel).
@@ -898,13 +1034,21 @@ impl<'n> Verifier<'n> {
                             break;
                         }
                         let r = self.verify(&invariants[reps[i]]);
-                        *results[i].lock().unwrap() = Some(r);
+                        // A sibling worker that panicked while writing its
+                        // slot poisons only that slot; recover rather than
+                        // cascading the panic into every other result (the
+                        // Option is valid either way).
+                        *results[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
                     });
                 }
             });
             results
                 .into_iter()
-                .map(|m| m.into_inner().unwrap().expect("worker filled result"))
+                .map(|m| {
+                    m.into_inner()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .expect("worker filled result")
+                })
                 .collect()
         };
 
@@ -949,7 +1093,7 @@ impl<'n> Verifier<'n> {
     }
 }
 
-impl<'n> Verifier<'n> {
+impl Verifier {
     /// Checks a *pipeline invariant* (§2.3): packets from `src` to `dst`
     /// must traverse the given middlebox-type sequence on the static
     /// datapath. This is the invariant family the paper delegates to
@@ -1493,5 +1637,125 @@ mod engine_tests {
         assert_eq!(rb.scenarios_checked, 2, "violation found in the failure scenario");
         assert_eq!(rb.steps, ri.steps, "baseline bound must be the max over scenarios");
         assert_eq!(rb.encoded_nodes, ri.encoded_nodes);
+    }
+
+    #[test]
+    fn swap_network_retires_exactly_the_touched_sessions() {
+        let (net, src, dst) = pipelined(true);
+        let opts = VerifyOptions { steps_override: Some(4), ..Default::default() };
+        let mut v = Verifier::new(&net, opts).unwrap();
+        v.verify(&Invariant::NodeIsolation { src, dst }).unwrap();
+        assert_eq!(v.pooled_sessions(), 1);
+        assert!(v.cost_model_entries() > 0);
+
+        // An invariant/scenario-only delta keeps everything warm.
+        v.swap_network(v.network().clone(), &TouchSet::Nothing).unwrap();
+        assert_eq!(v.pooled_sessions(), 1, "TouchSet::Nothing must not retire sessions");
+
+        // A model swap of a box outside the pooled session's node set
+        // keeps it; one inside retires it (and its cost entry).
+        v.swap_network(v.network().clone(), &TouchSet::node("no-such-box")).unwrap();
+        assert_eq!(v.pooled_sessions(), 1, "disjoint footprint must not retire the session");
+        v.swap_network(v.network().clone(), &TouchSet::node("fw1")).unwrap();
+        assert_eq!(v.pooled_sessions(), 0, "fw1 is in the pooled slice");
+        assert_eq!(v.cost_model_entries(), 0, "cost entries retire with their sessions");
+
+        // Structural deltas retire everything.
+        v.verify(&Invariant::NodeIsolation { src, dst }).unwrap();
+        assert_eq!(v.pooled_sessions(), 1);
+        v.swap_network(v.network().clone(), &TouchSet::Everything).unwrap();
+        assert_eq!(v.pooled_sessions(), 0);
+        assert_eq!(v.cost_model_entries(), 0);
+
+        // And the verifier still verifies correctly afterwards.
+        let r = v.verify(&Invariant::NodeIsolation { src, dst }).unwrap();
+        assert!(!r.verdict.holds());
+    }
+
+    #[test]
+    fn cost_model_map_stays_bounded_under_topology_churn() {
+        // Satellite regression: the pool's per-key EWMA map used to grow
+        // without bound as network deltas retired old keys — every churn
+        // epoch leaves distinct (node-set, bound) keys behind. Churn the
+        // topology so each epoch pools under a *different* key and assert
+        // the map never exceeds the live-key count.
+        let (net, src, dst) = pipelined(true);
+        let mut v =
+            Verifier::new(&net, VerifyOptions { steps_override: Some(4), ..Default::default() })
+                .unwrap();
+        for epoch in 0..6usize {
+            // Vary the bound so the session key differs per epoch.
+            let mut net2 = (**v.network()).clone();
+            let tag = format!("extra{epoch}");
+            let h = net2.topo.add_host(&tag, format!("172.16.0.{}", epoch + 1).parse().unwrap());
+            let sw = net2.topo.by_name("sw").unwrap();
+            net2.topo.add_link(h, sw);
+            v.swap_network(Arc::new(net2), &TouchSet::Everything).unwrap();
+            v.verify(&Invariant::NodeIsolation { src, dst }).unwrap();
+            assert!(
+                v.cost_model_entries() <= 1,
+                "epoch {epoch}: cost map leaked retired keys ({} entries)",
+                v.cost_model_entries()
+            );
+        }
+    }
+
+    #[test]
+    fn bdd_lock_poisoning_discards_and_rebuilds_the_dataplane() {
+        // Satellite regression: the shared dataplane cache is guarded by
+        // a Mutex added after the pool's poison-recovery fix; a panicking
+        // thread must not wedge (or corrupt) later fast-path checks.
+        let allow = vec![(px("8.0.0.0/8"), px("10.0.0.0/24"))];
+        let (net, src, dst) = stateless_pipelined(allow);
+        let v = Verifier::new(&net, VerifyOptions::default()).unwrap();
+        let inv = Invariant::NodeIsolation { src, dst };
+        let first = v.verify(&inv).unwrap();
+        assert!(first.bdd_scenarios > 0, "the sweep must exercise the dataplane");
+        std::thread::scope(|s| {
+            let t = s.spawn(|| {
+                let _guard = v.bdd.lock().unwrap();
+                panic!("worker dies holding the dataplane lock");
+            });
+            assert!(t.join().is_err());
+        });
+        assert!(v.bdd.is_poisoned(), "the test must actually poison the lock");
+        // Recovery discards the cached dataplane and rebuilds lazily: the
+        // verdict is reproduced and fresh bdd work is attributed.
+        let again = v.verify(&inv).unwrap();
+        assert_eq!(first.verdict.holds(), again.verdict.holds());
+        assert!(again.bdd.nodes > 0, "the rebuilt dataplane did the work");
+        assert!(!v.bdd.is_poisoned(), "recovery must clear the poison");
+    }
+
+    #[test]
+    fn verify_under_restricts_the_sweep() {
+        let (net, src, dst) = pipelined(false); // fail fw1 => violated
+        let v = Verifier::new(&net, VerifyOptions::default()).unwrap();
+        let inv = Invariant::NodeIsolation { src, dst };
+
+        // Empty list: trivially holds, no solver work.
+        let r = v.verify_under(&inv, Vec::new()).unwrap();
+        assert!(r.verdict.holds());
+        assert_eq!(r.scenarios_checked, 0);
+        assert_eq!(r.solver.decisions + r.solver.propagations + r.solver.conflicts, 0);
+
+        // The no-failure scenario alone: the firewall does its job.
+        let r = v.verify_under(&inv, vec![vmn_net::FailureScenario::none()]).unwrap();
+        assert!(!r.verdict.holds(), "allow-all firewall forwards the probe");
+
+        // The failure scenario alone: first violation is that scenario.
+        let fw1 = net.topo.by_name("fw1").unwrap();
+        let fail = vmn_net::FailureScenario::nodes([fw1]);
+        let r = v.verify_under(&inv, vec![fail.clone()]).unwrap();
+        let Verdict::Violated { scenario, .. } = r.verdict else {
+            panic!("failure bypass must violate");
+        };
+        assert_eq!(scenario, fail);
+
+        // And the full sweep equals verify().
+        let full = v.verify_under(&inv, v.network().all_scenarios()).unwrap();
+        let direct = v.verify(&inv).unwrap();
+        assert_eq!(full.verdict.holds(), direct.verdict.holds());
+        assert_eq!(full.scenarios_checked, direct.scenarios_checked);
     }
 }

@@ -19,8 +19,9 @@ use crate::invariant::Invariant;
 use crate::network::Network;
 use crate::policy::PolicyClasses;
 use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
 use vmn_mbox::Parallelism;
-use vmn_net::{Address, FailureScenario, NetError, NodeId, TransferFunction};
+use vmn_net::{Address, FailureScenario, HeaderClasses, NetError, NodeId, TransferFunction};
 
 /// Computes the slice for verifying `inv` under `scenario`.
 ///
@@ -243,6 +244,159 @@ pub fn cluster_slices(slices: &[Vec<NodeId>], threshold: f64) -> Vec<Vec<usize>>
         .collect();
     out.sort_by_key(|c| c[0]);
     out
+}
+
+/// The slice's member names — the currency of the daemon's cache
+/// bookkeeping. Node *ids* are not stable across network epochs once
+/// nodes can be added and removed (they are insertion indices); names
+/// are, so footprint intersection and cached-verdict keys work on names.
+pub fn slice_names(net: &Network, slice: &[NodeId]) -> BTreeSet<String> {
+    slice.iter().map(|&n| net.topo.node(n).name.clone()).collect()
+}
+
+/// A name-based fingerprint of everything the verdict of one
+/// (invariant, scenario) check can depend on, given its verification
+/// plan (slice `nodes`, trace bound `k`).
+///
+/// The engine's verdict is a deterministic function of exactly these
+/// inputs, in both backends:
+///
+/// * the invariant's kind and endpoint/through names,
+/// * which slice members the scenario fails (by name),
+/// * the trace bound,
+/// * each slice member's name, kind, owned addresses and — for
+///   middleboxes — its full model configuration,
+/// * the delivery behaviour of every live slice terminal, compiled the
+///   same way the encoder compiles its per-emitter delivery intervals:
+///   for each header equivalence class, where does a packet emitted by
+///   this terminal toward that class land (an in-slice terminal, or
+///   "outside/drop" — the encoder maps both to its drop sentinel), with
+///   adjacent classes of equal outcome merged so that irrelevant class
+///   splits elsewhere in the network do not perturb the fingerprint.
+///
+/// Equal fingerprints across two network epochs therefore imply the
+/// same verdict (modulo the 2⁻⁶⁴ hash-collision risk every cache key
+/// accepts), which is what lets the `vmn_serve` daemon answer from its
+/// verdict cache after a delta instead of re-solving: a routing change
+/// three pods over refines the global header classes but leaves this
+/// slice's merged intervals — and hence its fingerprint — untouched.
+///
+/// `classes` must be the header classes of `net`
+/// ([`HeaderClasses::from_network`]); they are passed in so one
+/// computation serves every (invariant, scenario) pair of an epoch.
+pub fn verdict_fingerprint(
+    net: &Network,
+    classes: &HeaderClasses,
+    inv: &Invariant,
+    scenario: &FailureScenario,
+    nodes: &[NodeId],
+    k: usize,
+) -> Result<u64, NetError> {
+    fn name(net: &Network, n: NodeId) -> &str {
+        &net.topo.node(n).name
+    }
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+
+    // Invariant shape, over names.
+    match inv {
+        Invariant::NodeIsolation { src, dst } => {
+            (0u8, name(net, *src), name(net, *dst)).hash(&mut h);
+        }
+        Invariant::FlowIsolation { src, dst } => {
+            (1u8, name(net, *src), name(net, *dst)).hash(&mut h);
+        }
+        Invariant::DataIsolation { origin, dst } => {
+            (2u8, name(net, *origin), name(net, *dst)).hash(&mut h);
+        }
+        Invariant::Traversal { dst, through, from } => {
+            (3u8, name(net, *dst)).hash(&mut h);
+            for &m in through {
+                name(net, m).hash(&mut h);
+            }
+            from.map(|f| name(net, f)).hash(&mut h);
+        }
+    }
+
+    // Scenario, over names (sorted: BTreeSet order is id order, which is
+    // not stable across epochs).
+    let mut failed: Vec<&str> = scenario.failed_nodes.iter().map(|&n| name(net, n)).collect();
+    failed.sort_unstable();
+    failed.hash(&mut h);
+    let mut failed_links: Vec<(&str, &str)> = scenario
+        .failed_links
+        .iter()
+        .map(|l| {
+            let (a, b) = (name(net, l.a), name(net, l.b));
+            if a <= b {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        })
+        .collect();
+    failed_links.sort_unstable();
+    failed_links.hash(&mut h);
+
+    k.hash(&mut h);
+
+    // Slice membership: name, kind, addresses, and the middlebox model
+    // configurations (the debug form is a complete structural rendering
+    // of the model IR).
+    let mut members: Vec<NodeId> = nodes.to_vec();
+    members.sort_by_key(|&n| name(net, n));
+    let in_slice: BTreeSet<NodeId> = members.iter().copied().collect();
+    for &n in &members {
+        let node = net.topo.node(n);
+        node.name.hash(&mut h);
+        match &node.kind {
+            vmn_net::NodeKind::Host => 0u8.hash(&mut h),
+            vmn_net::NodeKind::Switch => 1u8.hash(&mut h),
+            vmn_net::NodeKind::Middlebox { mbox_type } => (2u8, mbox_type).hash(&mut h),
+        }
+        for a in &node.addresses {
+            a.0.hash(&mut h);
+        }
+        if node.kind.is_middlebox() {
+            if let Some(model) = net.models.get(&n) {
+                format!("{model:?}").hash(&mut h);
+            }
+        }
+    }
+
+    // Delivery behaviour, mirroring the encoder's per-emitter interval
+    // compilation (`Encoded::add_scenario`): out-of-slice targets and
+    // drops are identical outcomes there (both map to the drop
+    // sentinel), and adjacent equal-outcome classes merge.
+    let tf = TransferFunction::new(&net.topo, &net.tables, scenario);
+    for &f in &members {
+        if scenario.is_failed(f) {
+            continue;
+        }
+        name(net, f).hash(&mut h);
+        let mut intervals: Vec<(u32, u32, Option<NodeId>)> = Vec::new();
+        for ci in 0..classes.num_classes() {
+            let rep = classes.representative(ci);
+            let result = tf.deliver(f, rep)?.filter(|t| in_slice.contains(t));
+            let start = rep.0;
+            let end = if ci + 1 < classes.num_classes() {
+                classes.representative(ci + 1).0 - 1
+            } else {
+                u32::MAX
+            };
+            match intervals.last_mut() {
+                Some(last) if last.2 == result && last.1.wrapping_add(1) == start => {
+                    last.1 = end;
+                }
+                _ => intervals.push((start, end, result)),
+            }
+        }
+        for (start, end, result) in intervals {
+            let Some(t) = result else { continue };
+            (start, end, name(net, t)).hash(&mut h);
+        }
+    }
+
+    Ok(h.finish())
 }
 
 #[cfg(test)]

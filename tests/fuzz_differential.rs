@@ -26,7 +26,11 @@
 //! slices are answered by the BDD dataplane fast path instead of the
 //! solver: verdicts, scenario counts and first violating scenarios must
 //! still match the SMT oracle, and BDD-synthesized witnesses must replay
-//! on the concrete simulator exactly like SMT ones. Cases are generated
+//! on the concrete simulator exactly like SMT ones. Finally, every case
+//! runs a mixed-backend `verify_all` sweep with a duplicated invariant:
+//! the inherited report must zero all cost fields (elapsed, solver
+//! deltas, BDD deltas, certificate) while keeping the representative's
+//! provenance counts. Cases are generated
 //! from the proptest harness's deterministic per-test seed, so failures
 //! reproduce exactly; set `VMN_FUZZ_CASES` to bound the case count (CI
 //! pins a small subset, the default is 200).
@@ -409,6 +413,38 @@ fn run_case(seed: u64) {
         }
         assert_witness_replays(&case.net, &got.verdict, label, engine);
     }
+
+    // Mixed-backend sweep hygiene: duplicating the invariant forces the
+    // second report to be inherited from its symmetric representative,
+    // and `Backend::Auto` routes the representative's scenarios across
+    // both solver and BDD dataplane. Inherited reports must zero every
+    // cost field — elapsed, solver deltas, BDD deltas, certificate — so
+    // summing costs over a run counts each backend run exactly once,
+    // while keeping the representative's provenance counts.
+    let options = VerifyOptions { policy_hint: case.hint.clone(), ..Default::default() };
+    let v = Verifier::new(&case.net, options).expect("valid network");
+    let reports =
+        v.verify_all(&[case.inv.clone(), case.inv.clone()], 1).expect("verify_all succeeds");
+    assert!(!reports[0].inherited, "{label}: the representative is verified directly");
+    assert!(reports[1].inherited, "{label}: a duplicated invariant must inherit");
+    let (rep, inh) = (&reports[0], &reports[1]);
+    assert_eq!(
+        inh.elapsed,
+        std::time::Duration::ZERO,
+        "{label}: inherited elapsed must not double-count"
+    );
+    let solver_work = inh.solver.decisions + inh.solver.propagations + inh.solver.conflicts;
+    assert_eq!(solver_work, 0, "{label}: inherited solver stats must be zeroed");
+    assert_eq!(
+        inh.bdd,
+        vmn_bdd::BddStats::default(),
+        "{label}: inherited bdd stats must be zeroed"
+    );
+    assert!(inh.certificate.is_none(), "{label}: the representative carries the certificate");
+    assert_eq!(inh.verdict.holds(), rep.verdict.holds(), "{label}: inherited verdict diverges");
+    assert_eq!(inh.scenarios_checked, rep.scenarios_checked, "{label}: provenance is kept");
+    assert_eq!(inh.smt_scenarios, rep.smt_scenarios, "{label}: smt provenance is kept");
+    assert_eq!(inh.bdd_scenarios, rep.bdd_scenarios, "{label}: bdd provenance is kept");
 }
 
 proptest! {

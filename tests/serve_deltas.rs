@@ -1,0 +1,297 @@
+//! Randomized differential testing of the serving layer's delta path:
+//! a [`vmn_serve::NetSession`] fed a random stream of delta batches —
+//! model swaps, invariant registrations and retirements, failure
+//! scenarios coming and going, structural node/link additions — must
+//! at every step hold exactly the state a from-scratch verifier
+//! derives from the same symbolic spec:
+//!
+//! * every cached (invariant, scenario) verdict equals a fresh
+//!   `Verifier::verify_under` on a fresh materialisation of the spec;
+//! * every cached violation witness replays into a real forbidden
+//!   reception on the concrete simulator;
+//! * the aggregated per-invariant verdicts (`NetSession::verdicts`)
+//!   report the first violating scenario in configured sweep order;
+//! * the delta report's cache accounting is conserved: every pair is
+//!   prefiltered, fingerprint-hit, or re-checked — nothing is dropped.
+//!
+//! This is the soundness argument for the daemon's verdict cache: the
+//! prefilter / fingerprint / recheck ladder may skip arbitrary solver
+//! work, but must never change an answer. Cases derive from the
+//! proptest per-test seed; `VMN_FUZZ_CASES` bounds the case count
+//! (CI pins a small subset, the default is 60).
+
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use std::collections::BTreeSet;
+use vmn::{Verdict, Verifier, VerifyOptions};
+use vmn_serve::{scenario_key, Delta, NetSession, NodeSpec};
+
+fn fuzz_cases() -> u32 {
+    match std::env::var("VMN_FUZZ_CASES") {
+        Ok(v) => v.parse().expect("VMN_FUZZ_CASES must be a number"),
+        Err(_) => 60,
+    }
+}
+
+/// The generated base network plus the mutation vocabulary the delta
+/// stream draws from.
+struct Gen {
+    config: String,
+    hosts: Vec<String>,
+    fws: Vec<String>,
+    /// Invariant specs the stream may register (superset of the ones
+    /// registered at load).
+    pool: Vec<String>,
+}
+
+const PREFIXES: [&str; 5] =
+    ["10.1.0.0/16", "10.2.0.0/16", "10.3.0.0/16", "10.0.0.0/8", "0.0.0.0/0"];
+
+/// Random `allow`-list arguments for a firewall model.
+fn acl_args(rng: &mut TestRng) -> Vec<String> {
+    let n = rng.below(3);
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut args = vec!["allow".to_string()];
+    for i in 0..n {
+        if i > 0 {
+            args.push(",".into());
+        }
+        args.push(PREFIXES[rng.below(PREFIXES.len() as u64) as usize].into());
+        args.push("->".into());
+        args.push(PREFIXES[rng.below(PREFIXES.len() as u64) as usize].into());
+    }
+    args
+}
+
+fn fw_kind(rng: &mut TestRng) -> &'static str {
+    if rng.below(2) == 0 {
+        "firewall"
+    } else {
+        "acl-firewall"
+    }
+}
+
+/// Derives a random hub network in `.vmn` config text: host pairs on
+/// per-pair /16s, one or two firewalls (stateful or ACL) with random
+/// allow-lists, random host-keyed steering with failover priorities,
+/// two registered invariants, and possibly an initial failure scenario.
+fn generate(rng: &mut TestRng) -> Gen {
+    let pairs = 2 + rng.below(2) as usize;
+    let mut config = String::new();
+    let mut hosts = Vec::new();
+    for i in 0..pairs {
+        for (role, last) in [("a", 1), ("b", 2)] {
+            let name = format!("{role}{i}");
+            config.push_str(&format!("host {name} 10.{}.0.{last}\n", i + 1));
+            hosts.push(name);
+        }
+    }
+    config.push_str("switch sw\n");
+    let nfw = 1 + rng.below(2) as usize;
+    let mut fws = Vec::new();
+    for f in 0..nfw {
+        let name = format!("fw{f}");
+        let args = acl_args(rng);
+        config.push_str(&format!("{} {name} {}\n", fw_kind(rng), args.join(" ")));
+        fws.push(name);
+    }
+    for n in hosts.iter().chain(&fws) {
+        config.push_str(&format!("link {n} sw\n"));
+    }
+    config.push_str("autoroute\n");
+    for h in &hosts {
+        for (fi, f) in fws.iter().enumerate() {
+            if rng.below(2) == 0 {
+                config.push_str(&format!(
+                    "steer sw from {h} 10.0.0.0/8 {f} prio {}\n",
+                    30 - 5 * fi as i32
+                ));
+            }
+        }
+    }
+
+    // The invariant vocabulary: isolation between every ordered host
+    // pair, plus a data-isolation and a traversal probe on the first
+    // pair (kept rare — they are the expensive encodings).
+    let mut pool = Vec::new();
+    for s in &hosts {
+        for d in &hosts {
+            if s != d {
+                pool.push(format!("node-isolation {s} -> {d}"));
+                pool.push(format!("flow-isolation {s} -> {d}"));
+            }
+        }
+    }
+    pool.push(format!("data-isolation {} -> {}", hosts[0], hosts[1]));
+    pool.push(format!("traversal {} -> {} via {}", hosts[0], hosts[1], fws[0]));
+
+    // Register two distinct invariants up front.
+    let mut registered = BTreeSet::new();
+    while registered.len() < 2 {
+        registered.insert(pool[rng.below(pool.len() as u64) as usize].clone());
+    }
+    for spec in &registered {
+        config.push_str(&format!("verify {spec}\n"));
+    }
+    if rng.below(2) == 0 {
+        config.push_str(&format!("fail {}\n", fws[rng.below(fws.len() as u64) as usize]));
+    }
+    Gen { config, hosts, fws, pool }
+}
+
+/// One random delta batch against the session's *current* spec. Always
+/// applicable: toggles consult the live spec so adds never duplicate
+/// and removals never miss.
+fn next_batch(rng: &mut TestRng, gen: &Gen, session: &NetSession, step: usize) -> Vec<Delta> {
+    let registered: Vec<String> = session.spec().verify_specs().map(str::to_string).collect();
+    match rng.below(5) {
+        // Reconfigure a firewall: new kind, new allow-list.
+        0 => vec![Delta::SetModel {
+            name: gen.fws[rng.below(gen.fws.len() as u64) as usize].clone(),
+            kind: fw_kind(rng).into(),
+            args: acl_args(rng),
+        }],
+        // Toggle a failure scenario (single box, or all boxes at once).
+        1 => {
+            let mut cands: Vec<Vec<String>> = gen.fws.iter().map(|f| vec![f.clone()]).collect();
+            if gen.fws.len() > 1 {
+                cands.push(gen.fws.clone());
+            }
+            let fail = cands[rng.below(cands.len() as u64) as usize].clone();
+            let key = scenario_key(&fail);
+            let present = session.spec().fail_specs().any(|f| scenario_key(f) == key);
+            if present {
+                vec![Delta::RemoveScenario { fail }]
+            } else {
+                vec![Delta::AddScenario { fail }]
+            }
+        }
+        // Register an invariant not currently present.
+        2 => {
+            let fresh: Vec<&String> =
+                gen.pool.iter().filter(|s| !registered.contains(*s)).collect();
+            match fresh.is_empty() {
+                true => vec![Delta::RetireInvariant { spec: registered[0].clone() }],
+                false => vec![Delta::AddInvariant {
+                    spec: fresh[rng.below(fresh.len() as u64) as usize].clone(),
+                }],
+            }
+        }
+        // Retire one (keeping at least one registered).
+        3 => {
+            if registered.len() > 1 {
+                vec![Delta::RetireInvariant {
+                    spec: registered[rng.below(registered.len() as u64) as usize].clone(),
+                }]
+            } else {
+                let fresh: Vec<&String> =
+                    gen.pool.iter().filter(|s| !registered.contains(*s)).collect();
+                vec![Delta::AddInvariant {
+                    spec: fresh[rng.below(fresh.len() as u64) as usize].clone(),
+                }]
+            }
+        }
+        // Structural churn: a new (unsteered) host joins the hub.
+        _ => {
+            let name = format!("hx{step}");
+            vec![
+                Delta::AddNode(NodeSpec::Host {
+                    name: name.clone(),
+                    addr: format!("10.9.0.{}", step + 1),
+                }),
+                Delta::AddLink { a: name, b: "sw".into() },
+            ]
+        }
+    }
+}
+
+/// The core oracle: the daemon's cached state must be indistinguishable
+/// from a verifier built from scratch off the same symbolic spec.
+fn assert_matches_scratch(session: &NetSession, label: &str) {
+    let m = session.spec().materialize().expect("live spec rematerializes");
+    let fresh = Verifier::new(&m.net, VerifyOptions::default()).expect("valid network");
+    let scenarios = session.scenario_list();
+    let verdicts = session.verdicts();
+    assert_eq!(verdicts.len(), session.invariants().len(), "{label}: one verdict per invariant");
+
+    for (spec, inv) in session.invariants() {
+        let mut first_violation: Option<(String, usize)> = None;
+        for (skey, scenario) in &scenarios {
+            let entry = session
+                .cached(spec, skey)
+                .unwrap_or_else(|| panic!("{label}: no cache entry for {spec:?} / {skey:?}"));
+            let want = fresh
+                .verify_under(inv, vec![scenario.clone()])
+                .expect("from-scratch verify succeeds");
+            assert_eq!(
+                entry.verdict.holds(),
+                want.verdict.holds(),
+                "{label}: cached verdict for {spec:?} under {skey:?} diverges from scratch"
+            );
+            if let Verdict::Violated { trace, scenario: vs } = &entry.verdict {
+                let receptions = trace.replay(&m.net, vs).unwrap_or_else(|e| {
+                    panic!("{label}: witness for {spec:?} / {skey:?} fails to replay: {e}")
+                });
+                assert!(
+                    !receptions.is_empty(),
+                    "{label}: witness for {spec:?} / {skey:?} replays to no reception"
+                );
+                if first_violation.is_none() {
+                    first_violation = Some((skey.clone(), trace.steps.len()));
+                }
+            }
+        }
+        let iv = verdicts
+            .iter()
+            .find(|iv| iv.spec == *spec)
+            .unwrap_or_else(|| panic!("{label}: {spec:?} missing from verdicts"));
+        assert_eq!(iv.holds, first_violation.is_none(), "{label}: {spec:?} aggregate diverges");
+        assert_eq!(
+            iv.violation, first_violation,
+            "{label}: {spec:?} first violating scenario diverges"
+        );
+    }
+}
+
+fn run_case(seed: u64) {
+    let mut rng = TestRng::new(seed);
+    let gen = generate(&mut rng);
+    let label = format!("hosts={} fws={}", gen.hosts.len(), gen.fws.len());
+    let (mut session, load_report) = NetSession::load(&gen.config, VerifyOptions::default())
+        .unwrap_or_else(|e| panic!("{label}: generated config rejected: {e}\n{}", gen.config));
+    let pairs = session.invariants().len() * session.scenario_list().len();
+    assert_eq!(load_report.pairs, pairs, "{label}: load sweeps every pair");
+    assert_eq!(load_report.rechecked, pairs, "{label}: cold cache solves every pair");
+    assert_matches_scratch(&session, &format!("{label} after load"));
+
+    for step in 0..4 {
+        let batch = next_batch(&mut rng, &gen, &session, step);
+        let report = session
+            .apply(&batch)
+            .unwrap_or_else(|e| panic!("{label} step {step}: delta rejected: {e}\n{batch:?}"));
+        assert_eq!(
+            report.prefiltered + report.cache_hits + report.rechecked,
+            report.pairs,
+            "{label} step {step}: cache accounting must conserve pairs: {report:?}"
+        );
+        assert_eq!(
+            report.pairs,
+            session.invariants().len() * session.scenario_list().len(),
+            "{label} step {step}: pair count tracks the live spec"
+        );
+        assert_matches_scratch(&session, &format!("{label} step {step} ({batch:?})"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fuzz_cases()))]
+
+    /// The delta-applied daemon and a from-scratch verifier must agree
+    /// on every observable, at every point of a random delta stream.
+    #[test]
+    fn delta_stream_matches_from_scratch(seed in any::<u64>()) {
+        run_case(seed);
+    }
+}
