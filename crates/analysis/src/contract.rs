@@ -1,0 +1,309 @@
+//! Boundary contracts for modular verification.
+//!
+//! A contract at a cut edge is a [`WindowSet`]: an over-approximation
+//! of the `(src, dst)` address windows that packets crossing the edge
+//! can occupy. A module's *ingress assumption* is the window set on an
+//! incoming cut edge; its *egress guarantee* the set on an outgoing
+//! one. Composition holds when every egress guarantee implies the
+//! neighbouring module's ingress assumption over the same edge.
+//!
+//! Window sets are deliberately coarse — pairs of CIDR prefixes plus a
+//! "anything" top element — so that synthesis (a fixpoint in the `vmn`
+//! crate) terminates over a finite vocabulary: intersecting two
+//! prefixes yields the longer one or nothing, so every window is built
+//! from prefixes already mentioned in the configuration.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use vmn_net::{Address, Prefix};
+
+/// The intersection of two prefixes: the longer one if nested, nothing
+/// if disjoint.
+pub fn prefix_intersect(a: Prefix, b: Prefix) -> Option<Prefix> {
+    if a.covers(b) {
+        Some(b)
+    } else if b.covers(a) {
+        Some(a)
+    } else {
+        None
+    }
+}
+
+/// One `(src ∈ p, dst ∈ q)` window.
+pub type Window = (Prefix, Prefix);
+
+/// A set of header windows, with an explicit top element.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WindowSet {
+    /// Top: every header admitted. When set, `windows` is empty.
+    pub any: bool,
+    pub windows: BTreeSet<Window>,
+}
+
+impl WindowSet {
+    /// The empty set: no header crosses.
+    pub fn empty() -> WindowSet {
+        WindowSet::default()
+    }
+
+    /// The top element: any header may cross.
+    pub fn any() -> WindowSet {
+        WindowSet { any: true, windows: BTreeSet::new() }
+    }
+
+    /// A single window.
+    pub fn window(src: Prefix, dst: Prefix) -> WindowSet {
+        let mut ws = WindowSet::empty();
+        ws.insert((src, dst));
+        ws
+    }
+
+    pub fn is_empty(&self) -> bool {
+        !self.any && self.windows.is_empty()
+    }
+
+    pub fn is_any(&self) -> bool {
+        self.any
+    }
+
+    /// Inserts a window, dropping it if an existing window subsumes it
+    /// and evicting windows it subsumes. Returns whether the set grew.
+    pub fn insert(&mut self, w: Window) -> bool {
+        if self.any {
+            return false;
+        }
+        if self.windows.iter().any(|(s, d)| s.covers(w.0) && d.covers(w.1)) {
+            return false;
+        }
+        self.windows.retain(|(s, d)| !(w.0.covers(*s) && w.1.covers(*d)));
+        self.windows.insert(w);
+        true
+    }
+
+    /// Unions `other` into `self`; returns whether `self` grew.
+    pub fn union_with(&mut self, other: &WindowSet) -> bool {
+        if self.any {
+            return false;
+        }
+        if other.any {
+            self.any = true;
+            self.windows.clear();
+            return true;
+        }
+        let mut grew = false;
+        for w in &other.windows {
+            grew |= self.insert(*w);
+        }
+        grew
+    }
+
+    /// The pairwise intersection with another set.
+    pub fn intersect(&self, other: &WindowSet) -> WindowSet {
+        if self.any {
+            return other.clone();
+        }
+        if other.any {
+            return self.clone();
+        }
+        let mut out = WindowSet::empty();
+        for (s1, d1) in &self.windows {
+            for (s2, d2) in &other.windows {
+                if let (Some(s), Some(d)) = (prefix_intersect(*s1, *s2), prefix_intersect(*d1, *d2))
+                {
+                    out.insert((s, d));
+                }
+            }
+        }
+        out
+    }
+
+    /// Narrows every window's destination side by a prefix.
+    pub fn narrow_dst(&self, dst: Prefix) -> WindowSet {
+        self.intersect(&WindowSet::window(Prefix::default_route(), dst))
+    }
+
+    /// Whether a concrete `(src, dst)` header falls in some window.
+    pub fn admits(&self, src: Address, dst: Address) -> bool {
+        self.any || self.windows.iter().any(|(s, d)| s.contains(src) && d.contains(dst))
+    }
+
+    /// Whether any window intersects `(src ∈ p, dst ∈ q)`.
+    pub fn admits_window(&self, src: Prefix, dst: Prefix) -> bool {
+        self.any
+            || self.windows.iter().any(|(s, d)| {
+                prefix_intersect(*s, src).is_some() && prefix_intersect(*d, dst).is_some()
+            })
+    }
+
+    /// Conservative implication: every window of `self` is covered by
+    /// some single window of `other`. Sound (true really means ⊆) but
+    /// incomplete — a window covered only by a union of `other`'s
+    /// windows is reported as not implied.
+    pub fn implies(&self, other: &WindowSet) -> bool {
+        if other.any {
+            return true;
+        }
+        if self.any {
+            return false;
+        }
+        self.windows
+            .iter()
+            .all(|(s, d)| other.windows.iter().any(|(os, od)| os.covers(*s) && od.covers(*d)))
+    }
+
+    /// The set mirrored: every `(s, d)` window becomes `(d, s)`. Used to
+    /// close state-keyed guards under direction reversal (a learning
+    /// firewall forwards replies to flows it admitted forward).
+    pub fn reversed(&self) -> WindowSet {
+        if self.any {
+            return WindowSet::any();
+        }
+        WindowSet { any: false, windows: self.windows.iter().map(|&(s, d)| (d, s)).collect() }
+    }
+}
+
+impl fmt::Display for WindowSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.any {
+            return f.write_str("any");
+        }
+        if self.windows.is_empty() {
+            return f.write_str("none");
+        }
+        for (i, (s, d)) in self.windows.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" | ")?;
+            }
+            write!(f, "{s}->{d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A contract on one directed cut edge `from -> to`: the windows that
+/// packets crossing the edge in that direction may occupy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PortContract {
+    pub from: String,
+    pub to: String,
+    pub windows: WindowSet,
+}
+
+/// The contracts a module exposes: assumptions on incoming cut edges,
+/// guarantees on outgoing ones.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ModuleContract {
+    pub module: String,
+    /// Assumed windows on each incoming cut edge `(outside, inside)`.
+    pub ingress: Vec<PortContract>,
+    /// Guaranteed windows on each outgoing cut edge `(inside, outside)`.
+    pub egress: Vec<PortContract>,
+}
+
+/// Why a contract set is rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ContractError {
+    /// A declared contract under-approximates what the network can
+    /// actually send across the edge: the synthesized window `window`
+    /// crosses `from -> to` but the declared contract does not admit it.
+    Unsound { from: String, to: String, window: String },
+    /// An egress guarantee does not imply the neighbouring ingress
+    /// assumption on the same edge.
+    Compose { from: String, to: String },
+    /// A contract names an edge that is not a boundary edge of the
+    /// partition.
+    UnknownEdge { from: String, to: String },
+}
+
+impl fmt::Display for ContractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContractError::Unsound { from, to, window } => write!(
+                f,
+                "contract on {from} -> {to} is unsound: the network can send {window} \
+                 across the edge but the contract does not admit it"
+            ),
+            ContractError::Compose { from, to } => write!(
+                f,
+                "contracts do not compose on {from} -> {to}: the egress guarantee does \
+                 not imply the neighbour's ingress assumption"
+            ),
+            ContractError::UnknownEdge { from, to } => {
+                write!(f, "contract names {from} -> {to}, which is not a boundary edge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ContractError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn px(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn addr(s: &str) -> Address {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_subsumption() {
+        let mut ws = WindowSet::empty();
+        assert!(ws.insert((px("10.1.0.0/16"), px("10.2.0.0/16"))));
+        // Subsumed by the existing window: no growth.
+        assert!(!ws.insert((px("10.1.5.0/24"), px("10.2.0.0/16"))));
+        // A wider window evicts the narrower one.
+        assert!(ws.insert((px("10.0.0.0/8"), px("10.0.0.0/8"))));
+        assert_eq!(ws.windows.len(), 1);
+    }
+
+    #[test]
+    fn admits_and_any() {
+        let ws = WindowSet::window(px("10.1.0.0/16"), px("10.2.0.0/16"));
+        assert!(ws.admits(addr("10.1.3.4"), addr("10.2.0.1")));
+        assert!(!ws.admits(addr("10.3.0.1"), addr("10.2.0.1")));
+        assert!(WindowSet::any().admits(addr("1.2.3.4"), addr("5.6.7.8")));
+        assert!(!WindowSet::empty().admits(addr("1.2.3.4"), addr("5.6.7.8")));
+    }
+
+    #[test]
+    fn intersect_narrows() {
+        let a = WindowSet::window(px("10.0.0.0/8"), px("0.0.0.0/0"));
+        let b = WindowSet::window(px("10.1.0.0/16"), px("10.2.0.0/16"));
+        let i = a.intersect(&b);
+        assert!(i.admits(addr("10.1.0.1"), addr("10.2.0.1")));
+        assert!(!i.admits(addr("10.9.0.1"), addr("10.2.0.1")));
+        // Disjoint prefixes intersect to nothing.
+        let c = WindowSet::window(px("192.168.0.0/16"), px("0.0.0.0/0"));
+        assert!(a.intersect(&c).is_empty());
+    }
+
+    #[test]
+    fn implies_is_cover_based() {
+        let narrow = WindowSet::window(px("10.1.0.0/16"), px("10.2.0.0/16"));
+        let wide = WindowSet::window(px("10.0.0.0/8"), px("10.0.0.0/8"));
+        assert!(narrow.implies(&wide));
+        assert!(!wide.implies(&narrow));
+        assert!(wide.implies(&WindowSet::any()));
+        assert!(!WindowSet::any().implies(&wide));
+        assert!(WindowSet::empty().implies(&narrow));
+    }
+
+    #[test]
+    fn reversed_swaps_sides() {
+        let ws = WindowSet::window(px("10.1.0.0/16"), px("10.2.0.0/16"));
+        let r = ws.reversed();
+        assert!(r.admits(addr("10.2.0.1"), addr("10.1.0.1")));
+        assert!(!r.admits(addr("10.1.0.1"), addr("10.2.0.1")));
+    }
+
+    #[test]
+    fn prefix_intersection_cases() {
+        assert_eq!(prefix_intersect(px("10.0.0.0/8"), px("10.1.0.0/16")), Some(px("10.1.0.0/16")));
+        assert_eq!(prefix_intersect(px("10.1.0.0/16"), px("10.0.0.0/8")), Some(px("10.1.0.0/16")));
+        assert_eq!(prefix_intersect(px("10.1.0.0/16"), px("10.2.0.0/16")), None);
+    }
+}

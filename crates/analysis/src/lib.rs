@@ -34,8 +34,12 @@
 
 #![forbid(unsafe_code)]
 
+pub mod contract;
 pub mod delta;
+pub mod partition;
+pub use contract::{ContractError, ModuleContract, PortContract, Window, WindowSet};
 pub use delta::TouchSet;
+pub use partition::{auto_partition, Module, Partition, PartitionError};
 
 use std::collections::BTreeSet;
 use std::fmt;

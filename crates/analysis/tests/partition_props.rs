@@ -1,0 +1,132 @@
+//! Property tests for the auto-partitioner and the partition algebra:
+//!
+//! * `auto_partition` output is a true partition — modules are
+//!   disjoint, cover every node, and name only real nodes — on random
+//!   connected topologies;
+//! * boundary edges are exactly the links whose endpoints land in
+//!   different modules (checked against an independent recomputation),
+//!   and cutting them disconnects the corresponding modules;
+//! * the degenerate partitions behave as specified: `monolithic` has
+//!   one module and no boundary edges, `per_node` has one module per
+//!   node and every link on the boundary.
+//!
+//! Case counts honour `VMN_FUZZ_CASES` like the workspace's other
+//! randomized suites.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use std::collections::BTreeSet;
+use vmn_analysis::{auto_partition, Partition};
+
+fn fuzz_cases() -> u32 {
+    match std::env::var("VMN_FUZZ_CASES") {
+        Ok(v) => v.parse().expect("VMN_FUZZ_CASES must be a number"),
+        Err(_) => 120,
+    }
+}
+
+/// A random connected topology: a tree of infra nodes (switches and
+/// middleboxes) with hosts hanging off random infra nodes, plus a few
+/// random extra links for redundancy.
+fn random_topology(rng: &mut TestRng) -> (Vec<(String, bool)>, Vec<(String, String)>) {
+    let infra = 1 + rng.below(8) as usize;
+    let hosts = 1 + rng.below(12) as usize;
+    let mut nodes: Vec<(String, bool)> = Vec::new();
+    let mut links: Vec<(String, String)> = Vec::new();
+    for i in 0..infra {
+        nodes.push((format!("s{i}"), true));
+        if i > 0 {
+            let up = rng.below(i as u64) as usize;
+            links.push((format!("s{i}"), format!("s{up}")));
+        }
+    }
+    for h in 0..hosts {
+        let at = rng.below(infra as u64) as usize;
+        nodes.push((format!("h{h}"), false));
+        links.push((format!("h{h}"), format!("s{at}")));
+    }
+    // Redundant extra links between random infra pairs.
+    for _ in 0..rng.below(3) {
+        let a = rng.below(infra as u64) as usize;
+        let b = rng.below(infra as u64) as usize;
+        if a != b {
+            let (lo, hi) = (a.min(b), a.max(b));
+            let l = (format!("s{lo}"), format!("s{hi}"));
+            if !links.contains(&l) && !links.contains(&(l.1.clone(), l.0.clone())) {
+                links.push(l);
+            }
+        }
+    }
+    (nodes, links)
+}
+
+/// Independent recomputation of the cut edges of a partition.
+fn cut_edges(p: &Partition, links: &[(String, String)]) -> BTreeSet<(String, String)> {
+    links.iter().filter(|(a, b)| p.module_of(a) != p.module_of(b)).cloned().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fuzz_cases()))]
+
+    /// The auto-partitioner always produces a true partition, and its
+    /// boundary edges are exactly the cut edges.
+    #[test]
+    fn auto_partition_is_a_partition(seed in any::<u64>()) {
+        let mut rng = TestRng::new(seed);
+        let (nodes, links) = random_topology(&mut rng);
+        let p = auto_partition(&nodes, &links);
+        p.validate(nodes.iter().map(|(n, _)| n.as_str()))
+            .unwrap_or_else(|e| panic!("auto partition invalid: {e}\n{nodes:?}\n{links:?}"));
+        let boundary: BTreeSet<(String, String)> =
+            p.boundary_edges(&links).into_iter().collect();
+        prop_assert_eq!(&boundary, &cut_edges(&p, &links));
+        // Cut edges always join two infra nodes: hosts stay attached to
+        // their access switch.
+        for (a, b) in &boundary {
+            let infra = |n: &str| nodes.iter().any(|(m, i)| m == n && *i);
+            prop_assert!(infra(a) && infra(b), "host on a cut edge: {a} - {b}");
+        }
+        // Each module is internally connected once the cut edges are gone.
+        for m in &p.modules {
+            let inner: Vec<&(String, String)> = links
+                .iter()
+                .filter(|(a, b)| m.nodes.contains(a) && m.nodes.contains(b))
+                .collect();
+            let mut reached: BTreeSet<&str> = BTreeSet::new();
+            let start = m.nodes.iter().next().expect("non-empty module");
+            let mut stack = vec![start.as_str()];
+            reached.insert(start);
+            while let Some(v) = stack.pop() {
+                for (a, b) in &inner {
+                    let next = if a == v { Some(b.as_str()) }
+                        else if b == v { Some(a.as_str()) } else { None };
+                    if let Some(n) = next {
+                        if reached.insert(n) {
+                            stack.push(n);
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(reached.len(), m.nodes.len(),
+                "module {} not internally connected", m.name);
+        }
+    }
+
+    /// Degenerate partitions recover the monolithic / per-node shapes.
+    #[test]
+    fn degenerate_partitions_behave(seed in any::<u64>()) {
+        let mut rng = TestRng::new(seed);
+        let (nodes, links) = random_topology(&mut rng);
+        let names: Vec<String> = nodes.iter().map(|(n, _)| n.clone()).collect();
+
+        let mono = Partition::monolithic(names.clone());
+        mono.validate(names.iter().map(String::as_str)).expect("monolithic is a partition");
+        prop_assert_eq!(mono.len(), 1);
+        prop_assert!(mono.boundary_edges(&links).is_empty());
+
+        let per = Partition::per_node(names.clone());
+        per.validate(names.iter().map(String::as_str)).expect("per-node is a partition");
+        prop_assert_eq!(per.len(), names.len());
+        prop_assert_eq!(per.boundary_edges(&links).len(), links.len());
+    }
+}

@@ -5,6 +5,7 @@
 //! ```console
 //! $ vmn check network.vmn [--whole-network] [--threads N] [--trace]
 //!                         [--cluster-threshold F] [--certificate OUT]
+//!                         [--partition auto]
 //! $ vmn check run.cert          # first line `vmn-cert v1`: trusted check
 //! $ vmn lint network.vmn        # per-middlebox static-analysis report
 //! $ vmn lint --estates          # lint the built-in scenario estates
@@ -19,7 +20,7 @@
 #![forbid(unsafe_code)]
 
 use std::process::ExitCode;
-use vmn::{Backend, Verdict, Verifier, VerifyOptions};
+use vmn::{Backend, PartitionMode, Verdict, Verifier, VerifyOptions};
 
 mod config;
 
@@ -27,7 +28,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: vmn check <file> [--whole-network] [--threads N] [--trace]\n\
          \x20                    [--cluster-threshold F] [--certificate OUT]\n\
-         \x20                    [--backend auto|smt|bdd]\n\
+         \x20                    [--backend auto|smt|bdd] [--partition auto]\n\
          \n\
          With a `.vmn` network description, verifies every `verify` line\n\
          and prints a verdict per invariant. --whole-network disables\n\
@@ -41,6 +42,11 @@ fn usage() -> ExitCode {
          answers stateless slices on the BDD dataplane and the rest on\n\
          SMT, smt forces the solver pipeline, bdd forces the fast path\n\
          and fails cleanly on slices with mutable middlebox state.\n\
+         --partition auto verifies modularly: the topology is cut into\n\
+         modules on low-connectivity boundaries, boundary contracts are\n\
+         synthesized for the cut links, and cross-module isolation\n\
+         invariants are discharged by contract composition without\n\
+         encoding anything.\n\
          \n\
          With a stored certificate bundle (first line `vmn-cert v1`),\n\
          runs the independent trusted checker on it instead: exit 0 if\n\
@@ -276,6 +282,8 @@ fn main() -> ExitCode {
     let mut cluster_threshold: Option<f64> = None;
     let mut certificate_out: Option<String> = None;
     let mut backend = Backend::Auto;
+    let mut partition = false;
+    let parse_partition = |s: &str| s == "auto";
     let parse_backend = |s: &str| match s {
         "auto" => Some(Backend::Auto),
         "smt" => Some(Backend::Smt),
@@ -338,6 +346,16 @@ fn main() -> ExitCode {
                     None => return usage(),
                 }
             }
+            "--partition" => match it.next() {
+                Some(m) if parse_partition(m) => partition = true,
+                _ => return usage(),
+            },
+            s if s.starts_with("--partition=") => {
+                if !parse_partition(&s["--partition=".len()..]) {
+                    return usage();
+                }
+                partition = true;
+            }
             s if !s.starts_with('-') && file.is_none() => file = Some(s.to_string()),
             _ => return usage(),
         }
@@ -372,6 +390,9 @@ fn main() -> ExitCode {
     }
     options.emit_proofs = certificate_out.is_some();
     options.backend = backend;
+    if partition {
+        options.partition = PartitionMode::Auto;
+    }
     let verifier = match Verifier::new(&cfg.net, options) {
         Ok(v) => v,
         Err(e) => {
@@ -379,6 +400,13 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(ctx) = verifier.modular_context() {
+        println!(
+            "partitioned into {} modules ({} boundary links)",
+            ctx.module_count(),
+            ctx.boundary_len()
+        );
+    }
 
     let invariants: Vec<_> = cfg.invariants.iter().map(|(_, i)| i.clone()).collect();
     let reports = match verifier.verify_all(&invariants, threads) {
@@ -437,11 +465,17 @@ fn main() -> ExitCode {
     let direct = || reports.iter().filter(|r| !r.inherited);
     let smt_queries: usize = direct().map(|r| r.smt_scenarios).sum();
     let bdd_queries: usize = direct().map(|r| r.bdd_scenarios).sum();
+    let contract_queries: usize = direct().map(|r| r.contract_scenarios).sum();
     if !reports.is_empty() {
+        let contracts = if verifier.modular_context().is_some() {
+            format!(" / {contract_queries} contract")
+        } else {
+            String::new()
+        };
         println!(
             "{} invariants: {} hold, {} violated, {} inherited by symmetry; \
              solve time {total:?}, {conflicts} conflicts; \
-             {smt_queries} smt / {bdd_queries} bdd scenario queries",
+             {smt_queries} smt / {bdd_queries} bdd{contracts} scenario queries",
             reports.len(),
             holds,
             reports.len() - holds,

@@ -8,6 +8,7 @@
 //! | [`enterprise`] | §5.3.1 (university network with firewall) | Figures 6–7 |
 //! | [`multi_tenant`] | §5.3.2 (EC2 security-group datacenter) | Figure 8 |
 //! | [`isp`] | §5.3.3 (ISP with IDS + scrubber) | Figure 9 |
+//! | [`estate`] | §5.4 (scaling: modular verification of large estates) | Figure 10 |
 //!
 //! Each generator is deterministic given its parameters and RNG seed, so
 //! benchmark runs are reproducible.
@@ -17,6 +18,7 @@
 pub mod data_isolation;
 pub mod datacenter;
 pub mod enterprise;
+pub mod estate;
 pub mod isp;
 pub mod multi_tenant;
 

@@ -16,7 +16,8 @@
 //! `{"ok":false,"error":"..."}` and never terminate the session. Delta
 //! responses describe the re-verification (see [`DeltaReport`]):
 //! `touched` (the session footprint), `pairs`, `prefiltered`,
-//! `cache_hits`, `rechecked`, `retired`, `changed` and `elapsed_ms`.
+//! `contract_answered`, `cache_hits`, `rechecked`, `retired`, `modules`
+//! / `modules_touched` (modular mode), `changed` and `elapsed_ms`.
 //! The empty scenario key `""` names the implicit no-failure scenario.
 
 use std::io::{BufRead, Write};
@@ -72,9 +73,12 @@ fn report_json(r: &DeltaReport) -> Vec<(&'static str, Value)> {
         ("escalated", Value::Bool(r.escalated)),
         ("pairs", Value::num(r.pairs as f64)),
         ("prefiltered", Value::num(r.prefiltered as f64)),
+        ("contract_answered", Value::num(r.contract_answered as f64)),
         ("cache_hits", Value::num(r.cache_hits as f64)),
         ("rechecked", Value::num(r.rechecked as f64)),
         ("retired", Value::num(r.retired as f64)),
+        ("modules", Value::num(r.modules as f64)),
+        ("modules_touched", r.modules_touched.map(|n| Value::num(n as f64)).unwrap_or(Value::Null)),
         ("changed", Value::Arr(changed)),
         ("elapsed_ms", Value::Num(r.elapsed.as_secs_f64() * 1e3)),
     ]

@@ -26,7 +26,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use vmn::slice::{slice_names, verdict_fingerprint};
-use vmn::{Invariant, Verdict, Verifier, VerifyOptions};
+use vmn::{Invariant, PartitionMode, Verdict, Verifier, VerifyOptions};
 use vmn_analysis::TouchSet;
 use vmn_net::{FailureScenario, HeaderClasses, NodeId};
 
@@ -41,6 +41,10 @@ pub struct CacheEntry {
     /// The slice's member names — intersected against delta footprints.
     pub slice: BTreeSet<String>,
     pub verdict: Verdict,
+    /// Answered by the boundary contracts alone: no slice, no
+    /// fingerprint. Such entries are never prefiltered — the contract
+    /// re-answers them (cheaply) whenever the epoch moves.
+    pub contract: bool,
 }
 
 /// What one delta batch did.
@@ -55,12 +59,19 @@ pub struct DeltaReport {
     pub pairs: usize,
     /// Pairs skipped by footprint disjointness alone.
     pub prefiltered: usize,
+    /// Pairs answered by the boundary contracts alone (modular mode).
+    pub contract_answered: usize,
     /// Pairs whose recomputed fingerprint matched the cache.
     pub cache_hits: usize,
     /// Pairs actually re-verified.
     pub rechecked: usize,
     /// Cache entries dropped (retired invariants/scenarios).
     pub retired: usize,
+    /// Modules in the active partition (0 when running monolithically).
+    pub modules: usize,
+    /// Modules the batch footprint landed in: `Some(n)` for a `Nodes`
+    /// footprint, `None` for `Everything` or without a partition.
+    pub modules_touched: Option<usize>,
     /// Verdicts that changed (or appeared), as
     /// (invariant spec, scenario key, holds, previous holds).
     pub changed: Vec<(String, String, bool, Option<bool>)>,
@@ -114,6 +125,12 @@ impl NetSession {
         let spec = NetSpec::parse(config).map_err(|e| e.to_string())?;
         let m = spec.materialize().map_err(|e| e.to_string())?;
         let net = Arc::new(m.net);
+        // A `partition auto` directive switches the verifier into
+        // modular mode regardless of the service-wide options.
+        let mut options = options;
+        if spec.partition {
+            options.partition = PartitionMode::Auto;
+        }
         let verifier = Verifier::from_arc(net.clone(), options).map_err(|e| e.to_string())?;
         let classes = HeaderClasses::from_network(&net.topo, &net.tables);
         let partition = partition_names(&verifier);
@@ -134,9 +151,12 @@ impl NetSession {
             escalated: false,
             pairs: 0,
             prefiltered: 0,
+            contract_answered: 0,
             cache_hits: 0,
             rechecked: 0,
             retired: 0,
+            modules: session.module_count(),
+            modules_touched: None,
             changed: Vec::new(),
             elapsed: Duration::ZERO,
         };
@@ -178,14 +198,18 @@ impl NetSession {
         }
         let effective = if escalated { TouchSet::Everything } else { touched.clone() };
 
+        let modules_touched = self.modules_touched(&touched);
         let mut report = DeltaReport {
             touched,
             escalated,
             pairs: 0,
             prefiltered: 0,
+            contract_answered: 0,
             cache_hits: 0,
             rechecked: 0,
             retired: 0,
+            modules: self.module_count(),
+            modules_touched,
             changed: Vec::new(),
             elapsed: Duration::ZERO,
         };
@@ -218,12 +242,37 @@ impl NetSession {
                 report.pairs += 1;
 
                 if let Some(entry) = self.cache.get(&key) {
-                    if !effective.touches(entry.slice.iter().map(String::as_str)) {
+                    // Contract entries carry no slice, so footprint
+                    // disjointness proves nothing about them — they are
+                    // only skippable when the epoch did not move at all.
+                    let skippable = !entry.contract || effective.is_nothing();
+                    if skippable && !effective.touches(entry.slice.iter().map(String::as_str)) {
                         report.prefiltered += 1;
                         continue;
                     }
                 }
                 let net = self.verifier.network().clone();
+                // Modular mode: if the boundary contracts prove the pair
+                // outright, skip planning and fingerprinting entirely.
+                if let Some(ctx) = self.verifier.modular_context() {
+                    if ctx.contract_holds(&net, inv, scenario) {
+                        report.contract_answered += 1;
+                        let was = self.cache.get(&key).map(|e| e.verdict.holds());
+                        if was != Some(true) {
+                            report.changed.push((inv_spec.clone(), skey.clone(), true, was));
+                        }
+                        self.cache.insert(
+                            key,
+                            CacheEntry {
+                                fingerprint: 0,
+                                slice: BTreeSet::new(),
+                                verdict: Verdict::Holds,
+                                contract: true,
+                            },
+                        );
+                        continue;
+                    }
+                }
                 let (nodes, k) =
                     self.verifier.plan_for(inv, scenario).map_err(|e| format!("{e:?}"))?;
                 let fp = verdict_fingerprint(&net, &self.classes, inv, scenario, &nodes, k)
@@ -246,7 +295,10 @@ impl NetSession {
                 if was != Some(holds) {
                     report.changed.push((inv_spec.clone(), skey.clone(), holds, was));
                 }
-                self.cache.insert(key, CacheEntry { fingerprint: fp, slice, verdict: r.verdict });
+                self.cache.insert(
+                    key,
+                    CacheEntry { fingerprint: fp, slice, verdict: r.verdict, contract: false },
+                );
             }
         }
         let before = self.cache.len();
@@ -288,6 +340,30 @@ impl NetSession {
     /// The cached verdict for one (invariant spec, scenario key) pair.
     pub fn cached(&self, inv_spec: &str, scenario_key: &str) -> Option<&CacheEntry> {
         self.cache.get(&(inv_spec.to_string(), scenario_key.to_string()))
+    }
+
+    /// Modules in the active partition (0 when running monolithically).
+    pub fn module_count(&self) -> usize {
+        self.verifier.modular_context().map_or(0, |c| c.module_count())
+    }
+
+    /// How many modules a footprint lands in: `Some(n)` for a `Nodes`
+    /// footprint under a partition, `None` otherwise.
+    fn modules_touched(&self, touched: &TouchSet) -> Option<usize> {
+        let ctx = self.verifier.modular_context()?;
+        match touched {
+            TouchSet::Nothing => Some(0),
+            TouchSet::Everything => None,
+            TouchSet::Nodes(names) => {
+                let topo = &self.verifier.network().topo;
+                let mods: BTreeSet<usize> = names
+                    .iter()
+                    .filter_map(|n| topo.by_name(n).ok())
+                    .filter_map(|id| ctx.module_of(id))
+                    .collect();
+                Some(mods.len())
+            }
+        }
     }
 
     pub fn cached_pairs(&self) -> usize {

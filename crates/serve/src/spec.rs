@@ -19,6 +19,7 @@
 //! route    sw 10.0.0.5/32 inside
 //! steer    sw from outside 0.0.0.0/0 fw prio 10
 //! autoroute
+//! partition auto
 //! fail     fw
 //! verify   node-isolation outside -> inside
 //! verify   pipeline outside -> inside via firewall
@@ -106,6 +107,10 @@ pub struct SteerSpec {
 #[derive(Clone, Debug, Default)]
 pub struct NetSpec {
     pub autoroute: bool,
+    /// `partition auto`: run the verifier in modular mode, with the
+    /// auto-partitioner cutting the estate on low-connectivity
+    /// boundaries and boundary contracts answering cross-module pairs.
+    pub partition: bool,
     pub(crate) nodes: Vec<(usize, NodeSpec)>,
     pub(crate) links: Vec<(usize, String, String)>,
     pub(crate) routes: Vec<(usize, RouteSpec)>,
@@ -225,6 +230,13 @@ impl NetSpec {
                 ));
             }
             "autoroute" => self.autoroute = true,
+            "partition" => {
+                let mode = one(lineno, &rest, "partition auto")?;
+                if mode != "auto" {
+                    return Err(err(lineno, format!("unknown partition mode {mode:?}")));
+                }
+                self.partition = true;
+            }
             "fail" => self.fails.push((lineno, rest)),
             "verify" => self.verifies.push((lineno, rest.join(" "))),
             other => return Err(err(lineno, format!("unknown keyword {other:?}"))),

@@ -10,7 +10,7 @@ use crate::trace::{StepKind, Trace, TraceStep};
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
-use vmn_analysis::TouchSet;
+use vmn_analysis::{ContractError, ModuleContract, Partition, TouchSet};
 use vmn_bdd::dataplane::{DataplaneError, Outcome, Query};
 use vmn_bdd::{BddStats, Dataplane};
 use vmn_check::CertificateBundle;
@@ -78,6 +78,11 @@ pub struct Report {
     /// totals should sum over non-inherited reports only.
     pub smt_scenarios: usize,
     pub bdd_scenarios: usize,
+    /// Scenarios answered by the modular engine's contract fast path
+    /// (synthesized boundary windows prove the isolation invariant holds
+    /// without encoding anything). Always zero when
+    /// [`VerifyOptions::partition`] is [`PartitionMode::Off`].
+    pub contract_scenarios: usize,
     /// BDD manager work attributable to this invariant's fast-path checks
     /// (stats deltas off the verifier's shared dataplane), the analogue
     /// of `solver` for the second backend. Zero for inherited reports and
@@ -144,6 +149,36 @@ pub struct VerifyOptions {
     pub emit_proofs: bool,
     /// Which backend answers each (slice, scenario) — see [`Backend`].
     pub backend: Backend,
+    /// Modular verification — see [`PartitionMode`]. With a partition
+    /// installed, cross-module isolation invariants are first tried
+    /// against the synthesized boundary contracts; scenarios the
+    /// contracts prove are counted in [`Report::contract_scenarios`] and
+    /// skip encoding entirely. Anything inconclusive falls back to the
+    /// exact engine, so verdicts and witnesses are identical to
+    /// [`PartitionMode::Off`] by construction.
+    pub partition: PartitionMode,
+}
+
+/// How the topology is partitioned into modules for modular
+/// verification.
+#[derive(Clone, Debug, Default)]
+pub enum PartitionMode {
+    /// Monolithic verification (the default).
+    #[default]
+    Off,
+    /// Partition with the auto-partitioner
+    /// ([`vmn_analysis::auto_partition`]): cut on low-connectivity
+    /// boundaries (bridge links between infrastructure nodes). Boundary
+    /// contracts are synthesized, so composition holds by construction.
+    Auto,
+    /// An operator-supplied partition, optionally with declared
+    /// per-module contracts. Declared contracts are validated against
+    /// the synthesized crossings at construction time — an
+    /// under-approximating declaration surfaces as
+    /// [`VerifyError::Contract`], never a silent pass — and checked to
+    /// compose (every egress guarantee implies the neighbouring
+    /// module's ingress assumption).
+    Explicit { partition: Partition, contracts: Vec<ModuleContract> },
 }
 
 /// Default Jaccard threshold for scenario clustering: slices within one
@@ -164,6 +199,7 @@ impl Default for VerifyOptions {
             cluster_threshold: DEFAULT_CLUSTER_THRESHOLD,
             emit_proofs: false,
             backend: Backend::Auto,
+            partition: PartitionMode::Off,
         }
     }
 }
@@ -182,6 +218,10 @@ pub enum VerifyError {
     Net(NetError),
     Encode(EncodeError),
     InvalidNetwork(String),
+    /// A declared module contract was rejected: unsound against the
+    /// synthesized crossings, failing to compose with a neighbour's
+    /// assumption, or naming a non-boundary edge.
+    Contract(ContractError),
     /// The BDD fast path could not (or must not) answer: a forced
     /// `Backend::Bdd` on a stateful slice or with certificates requested,
     /// or a dataplane-level failure such as witness reconstruction.
@@ -200,12 +240,19 @@ impl From<EncodeError> for VerifyError {
     }
 }
 
+impl From<ContractError> for VerifyError {
+    fn from(e: ContractError) -> Self {
+        VerifyError::Contract(e)
+    }
+}
+
 impl std::fmt::Display for VerifyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             VerifyError::Net(e) => write!(f, "{e}"),
             VerifyError::Encode(e) => write!(f, "{e}"),
             VerifyError::InvalidNetwork(s) => write!(f, "invalid network: {s}"),
+            VerifyError::Contract(e) => write!(f, "modular contract: {e}"),
             VerifyError::Bdd(s) => write!(f, "bdd backend: {s}"),
         }
     }
@@ -401,6 +448,10 @@ pub struct Verifier {
     /// predicates cache inside it). Locking recovers from poisoning for
     /// the same reason the pool's does.
     bdd: Mutex<Option<Dataplane>>,
+    /// The modular-verification context (resolved partition, boundary
+    /// edges, validated contracts and the per-scenario synthesis cache).
+    /// `None` when [`VerifyOptions::partition`] is [`PartitionMode::Off`].
+    modular: Option<crate::modular::ModularContext>,
 }
 
 /// Running tallies of one invariant's sweep, folded into the [`Report`].
@@ -412,6 +463,7 @@ struct SweepCost {
     solver: SolverStats,
     smt_scenarios: usize,
     bdd_scenarios: usize,
+    contract_scenarios: usize,
     bdd: BddStats,
 }
 
@@ -467,7 +519,45 @@ impl Verifier {
             Some(groups) => PolicyClasses::from_groups(groups.clone()),
             None => PolicyClasses::compute(&net),
         };
-        Ok(Verifier { net, options, policy, pool: SessionPool::new(), bdd: Mutex::new(None) })
+        let modular = Self::build_modular(&net, &options)?;
+        Ok(Verifier {
+            net,
+            options,
+            policy,
+            pool: SessionPool::new(),
+            bdd: Mutex::new(None),
+            modular,
+        })
+    }
+
+    /// Resolves [`VerifyOptions::partition`] against a network:
+    /// validates the partition, and for explicit contracts checks
+    /// soundness against the synthesized crossings and composition
+    /// across every boundary edge. The encoder is fail-stop (failed
+    /// nodes neither send nor process), so crossings under any failure
+    /// scenario are a subset of the no-failure crossings and one check
+    /// here covers every scenario.
+    fn build_modular(
+        net: &Network,
+        options: &VerifyOptions,
+    ) -> Result<Option<crate::modular::ModularContext>, VerifyError> {
+        match &options.partition {
+            PartitionMode::Off => Ok(None),
+            PartitionMode::Auto => Ok(Some(crate::modular::ModularContext::auto(&net.topo))),
+            PartitionMode::Explicit { partition, contracts } => {
+                let mut ctx = crate::modular::ModularContext::resolve(&net.topo, partition.clone())
+                    .map_err(|e| VerifyError::InvalidNetwork(e.to_string()))?;
+                ctx.install_contracts(net, contracts.clone())?;
+                Ok(Some(ctx))
+            }
+        }
+    }
+
+    /// The modular context, when a partition is installed
+    /// (diagnostics, the CLI's summary lines and the daemon's
+    /// module-aware re-checks).
+    pub fn modular_context(&self) -> Option<&crate::modular::ModularContext> {
+        self.modular.as_ref()
     }
 
     /// The network epoch this verifier currently answers for.
@@ -501,6 +591,16 @@ impl Verifier {
         touched: &TouchSet,
     ) -> Result<(), VerifyError> {
         net.validate().map_err(VerifyError::InvalidNetwork)?;
+        // Rebuild the modular context against the new epoch before any
+        // state is mutated (explicit contracts are re-validated — a delta
+        // can widen the crossings past a declared guarantee). A `Nothing`
+        // touch leaves topology, tables and models alone, so the existing
+        // context and its memoized syntheses stay valid.
+        let modular = if touched.is_nothing() {
+            None
+        } else {
+            Some(Self::build_modular(&net, &self.options)?)
+        };
         match touched {
             TouchSet::Nothing => {}
             TouchSet::Everything => self.pool.retire(|_| true),
@@ -520,6 +620,7 @@ impl Verifier {
             };
             *self.bdd.get_mut().unwrap_or_else(PoisonError::into_inner) = None;
             self.bdd.clear_poison();
+            self.modular = modular.expect("built above for non-Nothing touches");
         }
         self.net = net;
         Ok(())
@@ -776,6 +877,7 @@ impl Verifier {
             certificate,
             smt_scenarios: cost.smt_scenarios,
             bdd_scenarios: cost.bdd_scenarios,
+            contract_scenarios: cost.contract_scenarios,
             bdd: cost.bdd,
         };
         // One proof session per solver session the sweep touches; the
@@ -797,7 +899,17 @@ impl Verifier {
                 let (nodes, k) = self.plan(inv, &scenario)?;
                 cost.encoded_nodes = cost.encoded_nodes.max(nodes.len());
                 cost.steps = cost.steps.max(k);
-                if self.route_to_bdd(&scenario, &nodes)? {
+                // Backend routing is resolved before the contract fast
+                // path so a forced-BDD misconfiguration errors exactly
+                // like the monolithic engine would.
+                let routed = self.route_to_bdd(&scenario, &nodes)?;
+                if let Some(m) = &self.modular {
+                    if m.contract_holds(&self.net, inv, &scenario) {
+                        cost.contract_scenarios += 1;
+                        continue;
+                    }
+                }
+                if routed {
                     cost.bdd_scenarios += 1;
                     if let Some(trace) = self.check_bdd(inv, &scenario, &nodes, k, &mut cost.bdd)? {
                         return Ok(report(Verdict::Violated { trace, scenario }, cost, cert));
@@ -831,17 +943,26 @@ impl Verifier {
         let mut slices: Vec<Vec<NodeId>> = Vec::new();
         let mut bounds_per_scenario: Vec<usize> = Vec::new();
         let mut routes: Vec<bool> = Vec::new();
+        let mut contracts: Vec<bool> = Vec::new();
         let mut plan_error = None;
         for scenario in &scenarios {
             let planned = self.plan(inv, scenario).and_then(|(nodes, ks)| {
+                // Routing resolves first so forced-BDD misconfigurations
+                // error exactly like the monolithic engine; the contract
+                // fast path then claims whatever scenarios it can prove.
                 let routed = self.route_to_bdd(scenario, &nodes)?;
-                Ok((nodes, ks, routed))
+                let contract = self
+                    .modular
+                    .as_ref()
+                    .is_some_and(|m| m.contract_holds(&self.net, inv, scenario));
+                Ok((nodes, ks, routed, contract))
             });
             match planned {
-                Ok((nodes, ks, routed)) => {
+                Ok((nodes, ks, routed, contract)) => {
                     slices.push(nodes);
                     bounds_per_scenario.push(ks);
                     routes.push(routed);
+                    contracts.push(contract);
                 }
                 Err(e) => {
                     plan_error = Some(e);
@@ -862,7 +983,8 @@ impl Verifier {
             // their slices alone so a BDD-heavy sweep does not inflate
             // (or merge) the solver clusters, then map the cluster
             // members back to global scenario indices.
-            let smt_planned: Vec<usize> = (0..planned).filter(|&i| !routes[i]).collect();
+            let smt_planned: Vec<usize> =
+                (0..planned).filter(|&i| !routes[i] && !contracts[i]).collect();
             let smt_slices: Vec<Vec<NodeId>> =
                 smt_planned.iter().map(|&i| slices[i].clone()).collect();
             let clusters: Vec<Vec<usize>> = cluster_slices(&smt_slices, threshold)
@@ -907,6 +1029,18 @@ impl Verifier {
             let mut outcome: Result<Option<(Trace, FailureScenario)>, VerifyError> = Ok(None);
             let mut errored_cluster = None;
             for (i, scenario) in scenarios.into_iter().take(planned).enumerate() {
+                if contracts[i] {
+                    // Contract-answered: the synthesized boundary windows
+                    // prove the scenario holds; nothing is encoded. Plans
+                    // still count toward the size/bound maxima so reports
+                    // stay comparable across engine configurations.
+                    cost.scenarios_checked += 1;
+                    cost.contract_scenarios += 1;
+                    cost.encoded_nodes = cost.encoded_nodes.max(slices[i].len());
+                    cost.steps = cost.steps.max(bounds_per_scenario[i]);
+                    let _ = scenario;
+                    continue;
+                }
                 if routes[i] {
                     cost.scenarios_checked += 1;
                     cost.bdd_scenarios += 1;
@@ -1757,5 +1891,298 @@ mod engine_tests {
         let direct = v.verify(&inv).unwrap();
         assert_eq!(full.verdict.holds(), direct.verdict.holds());
         assert_eq!(full.scenarios_checked, direct.scenarios_checked);
+    }
+
+    /// Two buildings behind in-line ACL firewalls that only pass
+    /// building-local sources outbound: cross-building isolation holds,
+    /// intra-building traffic flows.
+    ///
+    /// ```text
+    /// a1, a2 - bsw1 - fw1 - core - fw2 - bsw2 - b1, b2
+    /// ```
+    fn two_buildings() -> (Network, NodeId, NodeId, NodeId, NodeId) {
+        let mut topo = Topology::new();
+        let a1 = topo.add_host("a1", "10.1.0.1".parse().unwrap());
+        let a2 = topo.add_host("a2", "10.1.0.2".parse().unwrap());
+        let b1 = topo.add_host("b1", "10.2.0.1".parse().unwrap());
+        let b2 = topo.add_host("b2", "10.2.0.2".parse().unwrap());
+        let bsw1 = topo.add_switch("bsw1");
+        let bsw2 = topo.add_switch("bsw2");
+        let core = topo.add_switch("core");
+        let fw1 = topo.add_middlebox("fw1", "acl-firewall-1", vec![]);
+        let fw2 = topo.add_middlebox("fw2", "acl-firewall-2", vec![]);
+        for (x, y) in [(a1, bsw1), (a2, bsw1), (bsw1, fw1), (fw1, core)] {
+            topo.add_link(x, y);
+        }
+        for (x, y) in [(b1, bsw2), (b2, bsw2), (bsw2, fw2), (fw2, core)] {
+            topo.add_link(x, y);
+        }
+        let mut rc = RoutingConfig::new();
+        rc.host_routes(&topo);
+        let mut tables = rc.build(&topo, &vmn_net::FailureScenario::none());
+        // The firewalls sit in line and BFS routing never transits a
+        // terminal, so the inter-building legs are explicit rules. They
+        // are `from`-scoped so a firewall's re-emission continues toward
+        // the far side instead of bouncing straight back into it.
+        let a_net = px("10.1.0.0/16");
+        let b_net = px("10.2.0.0/16");
+        for h in [a1, a2] {
+            tables.add_rule(bsw1, Rule::from_neighbor(b_net, h, fw1).with_priority(10));
+        }
+        for h in [b1, b2] {
+            tables.add_rule(bsw2, Rule::from_neighbor(a_net, h, fw2).with_priority(10));
+        }
+        tables.add_rule(core, Rule::from_neighbor(b_net, fw1, fw2));
+        tables.add_rule(core, Rule::from_neighbor(a_net, fw2, fw1));
+        let mut net = Network::new(topo, tables);
+        let all = px("0.0.0.0/0");
+        net.set_model(fw1, models::acl_firewall("acl-firewall-1", vec![(px("10.1.0.0/16"), all)]));
+        net.set_model(fw2, models::acl_firewall("acl-firewall-2", vec![(px("10.2.0.0/16"), all)]));
+        net.add_scenario(vmn_net::FailureScenario::nodes([fw2]));
+        (net, a1, a2, b1, b2)
+    }
+
+    #[test]
+    fn modular_contract_fast_path_answers_cross_module_isolation() {
+        let (net, a1, a2, b1, _b2) = two_buildings();
+        let opts = VerifyOptions { partition: PartitionMode::Auto, ..Default::default() };
+        let v = Verifier::new(&net, opts).unwrap();
+        let ctx = v.modular_context().expect("auto partition installed");
+        assert!(ctx.module_count() > 1, "the estate must actually split");
+
+        // Cross-module isolation: proven by the boundary contracts
+        // alone, in every scenario, with nothing encoded.
+        let inv = Invariant::NodeIsolation { src: a1, dst: b1 };
+        let r = v.verify(&inv).unwrap();
+        assert!(r.verdict.holds());
+        assert_eq!(r.contract_scenarios, r.scenarios_checked, "{inv}");
+        assert_eq!(r.smt_scenarios + r.bdd_scenarios, 0, "{inv}");
+
+        // The monolithic engine agrees (and does real work).
+        let mono = Verifier::new(&net, VerifyOptions::default()).unwrap();
+        let rm = mono.verify(&inv).unwrap();
+        assert!(rm.verdict.holds());
+        assert_eq!(rm.contract_scenarios, 0);
+        assert_eq!(rm.smt_scenarios + rm.bdd_scenarios, rm.scenarios_checked);
+
+        // Intra-module traffic is out of the contracts' reach: the exact
+        // engine answers, and both engines see the same violation.
+        let local = Invariant::NodeIsolation { src: a2, dst: a1 };
+        let r = v.verify(&local).unwrap();
+        let rm = mono.verify(&local).unwrap();
+        assert!(!r.verdict.holds(), "building-local traffic flows");
+        assert_eq!(r.contract_scenarios, 0);
+        assert!(!rm.verdict.holds());
+        let (Verdict::Violated { scenario: s, .. }, Verdict::Violated { scenario: sm, .. }) =
+            (&r.verdict, &rm.verdict)
+        else {
+            panic!("both violated");
+        };
+        assert_eq!(s, sm, "first violating scenario matches the oracle");
+    }
+
+    #[test]
+    fn modular_baseline_sweep_matches_incremental() {
+        let (net, a1, _a2, b1, b2) = two_buildings();
+        for incremental in [false, true] {
+            let opts =
+                VerifyOptions { partition: PartitionMode::Auto, incremental, ..Default::default() };
+            let v = Verifier::new(&net, opts).unwrap();
+            let r = v.verify(&Invariant::FlowIsolation { src: b2, dst: b1 }).unwrap();
+            // Same module: exact engine; flow isolation is violated by a
+            // direct unsolicited send.
+            assert!(!r.verdict.holds());
+            assert_eq!(r.contract_scenarios, 0, "incremental={incremental}");
+            let r = v.verify(&Invariant::FlowIsolation { src: a1, dst: b1 }).unwrap();
+            assert!(r.verdict.holds());
+            assert_eq!(r.contract_scenarios, r.scenarios_checked, "incremental={incremental}");
+        }
+    }
+
+    #[test]
+    fn explicit_contracts_are_validated_and_composed() {
+        use vmn_analysis::{Module, ModuleContract, Partition, PortContract, WindowSet};
+        let (net, ..) = two_buildings();
+        let b1_nodes = ["a1", "a2", "bsw1", "fw1"];
+        let rest = ["b1", "b2", "bsw2", "fw2", "core"];
+        let partition = Partition {
+            modules: vec![
+                Module {
+                    name: "building-1".into(),
+                    nodes: b1_nodes.iter().map(|s| s.to_string()).collect(),
+                },
+                Module { name: "rest".into(), nodes: rest.iter().map(|s| s.to_string()).collect() },
+            ],
+        };
+
+        // A sound egress guarantee: building 1 only emits 10.1/16
+        // sources (the firewall's ACL), toward anything.
+        let sound = ModuleContract {
+            module: "building-1".into(),
+            ingress: vec![],
+            egress: vec![PortContract {
+                from: "fw1".into(),
+                to: "core".into(),
+                windows: WindowSet::window(px("10.1.0.0/16"), px("0.0.0.0/0")),
+            }],
+        };
+        let opts = VerifyOptions {
+            partition: PartitionMode::Explicit {
+                partition: partition.clone(),
+                contracts: vec![sound.clone()],
+            },
+            ..Default::default()
+        };
+        let v = Verifier::new(&net, opts).unwrap();
+        assert_eq!(v.modular_context().unwrap().module_count(), 2);
+
+        // An under-approximating guarantee must be rejected as a typed
+        // contract error, never silently accepted.
+        let unsound = ModuleContract {
+            egress: vec![PortContract {
+                from: "fw1".into(),
+                to: "core".into(),
+                windows: WindowSet::window(px("192.168.0.0/16"), px("0.0.0.0/0")),
+            }],
+            ..sound.clone()
+        };
+        let opts = VerifyOptions {
+            partition: PartitionMode::Explicit {
+                partition: partition.clone(),
+                contracts: vec![unsound],
+            },
+            ..Default::default()
+        };
+        let err = Verifier::new(&net, opts).map(|_| ()).expect_err("unsound contract");
+        assert!(matches!(err, VerifyError::Contract(ContractError::Unsound { .. })), "got {err}");
+
+        // A neighbour assumption narrower than the guarantee fails the
+        // composition check.
+        let narrow_ingress = ModuleContract {
+            module: "rest".into(),
+            ingress: vec![PortContract {
+                from: "fw1".into(),
+                to: "core".into(),
+                windows: WindowSet::window(px("10.1.7.0/24"), px("0.0.0.0/0")),
+            }],
+            egress: vec![],
+        };
+        let opts = VerifyOptions {
+            partition: PartitionMode::Explicit {
+                partition: partition.clone(),
+                contracts: vec![sound.clone(), narrow_ingress],
+            },
+            ..Default::default()
+        };
+        let err = Verifier::new(&net, opts).map(|_| ()).expect_err("non-composing contracts");
+        assert!(matches!(err, VerifyError::Contract(_)), "got {err}");
+
+        // A contract on a non-boundary edge is a typed error too.
+        let off_edge = ModuleContract {
+            egress: vec![PortContract {
+                from: "bsw1".into(),
+                to: "fw1".into(),
+                windows: WindowSet::any(),
+            }],
+            ..sound
+        };
+        let opts = VerifyOptions {
+            partition: PartitionMode::Explicit { partition, contracts: vec![off_edge] },
+            ..Default::default()
+        };
+        let err = Verifier::new(&net, opts).map(|_| ()).expect_err("non-boundary edge");
+        assert!(
+            matches!(err, VerifyError::Contract(ContractError::UnknownEdge { .. })),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn degenerate_partitions_recover_the_monolithic_engine() {
+        use vmn_analysis::Partition;
+        let (net, a1, _a2, b1, _b2) = two_buildings();
+        let names: Vec<String> = net.topo.nodes().map(|(_, n)| n.name.clone()).collect();
+        let inv = Invariant::NodeIsolation { src: a1, dst: b1 };
+
+        // One module: no pair is cross-module, so the contract path
+        // never fires and the engine is exactly the monolithic one.
+        let opts = VerifyOptions {
+            partition: PartitionMode::Explicit {
+                partition: Partition::monolithic(names.clone()),
+                contracts: vec![],
+            },
+            ..Default::default()
+        };
+        let v = Verifier::new(&net, opts).unwrap();
+        let r = v.verify(&inv).unwrap();
+        assert!(r.verdict.holds());
+        assert_eq!(r.contract_scenarios, 0);
+        assert_eq!(r.smt_scenarios + r.bdd_scenarios, r.scenarios_checked);
+
+        // Per-node modules: every pair is cross-module; the contracts
+        // answer whatever they can prove and the verdict is unchanged.
+        let opts = VerifyOptions {
+            partition: PartitionMode::Explicit {
+                partition: Partition::per_node(names),
+                contracts: vec![],
+            },
+            ..Default::default()
+        };
+        let v = Verifier::new(&net, opts).unwrap();
+        let r = v.verify(&inv).unwrap();
+        assert!(r.verdict.holds());
+        assert_eq!(r.contract_scenarios, r.scenarios_checked);
+    }
+
+    #[test]
+    fn swap_network_revalidates_contracts() {
+        use vmn_analysis::{Module, ModuleContract, Partition, PortContract, WindowSet};
+        let (mut net, a1, _a2, b1, _b2) = two_buildings();
+        // Stricter building policy: only a1 may leave, and the declared
+        // guarantee promises exactly that.
+        let fw1 = net.topo.by_name("fw1").unwrap();
+        net.set_model(
+            fw1,
+            models::acl_firewall("acl-firewall-1", vec![(px("10.1.0.1/32"), px("0.0.0.0/0"))]),
+        );
+        let names_b1 = ["a1", "a2", "bsw1", "fw1"];
+        let rest = ["b1", "b2", "bsw2", "fw2", "core"];
+        let partition = Partition {
+            modules: vec![
+                Module {
+                    name: "building-1".into(),
+                    nodes: names_b1.iter().map(|s| s.to_string()).collect(),
+                },
+                Module { name: "rest".into(), nodes: rest.iter().map(|s| s.to_string()).collect() },
+            ],
+        };
+        let tight = ModuleContract {
+            module: "building-1".into(),
+            ingress: vec![],
+            egress: vec![PortContract {
+                from: "fw1".into(),
+                to: "core".into(),
+                windows: WindowSet::window(px("10.1.0.1/32"), px("0.0.0.0/0")),
+            }],
+        };
+        let opts = VerifyOptions {
+            partition: PartitionMode::Explicit { partition, contracts: vec![tight] },
+            ..Default::default()
+        };
+        let mut v = Verifier::new(&net, opts).unwrap();
+        assert!(v.verify(&Invariant::NodeIsolation { src: a1, dst: b1 }).unwrap().verdict.holds());
+
+        // Swap in an epoch whose fw1 lets the whole building out: the
+        // synthesized crossing gains a2's sources, which the declared
+        // guarantee does not cover, so the swap must refuse with the
+        // typed contract error.
+        let mut wide = net.clone();
+        wide.set_model(
+            fw1,
+            models::acl_firewall("acl-firewall-1", vec![(px("10.1.0.0/16"), px("0.0.0.0/0"))]),
+        );
+        let touched = TouchSet::Nodes(std::iter::once("fw1".to_string()).collect());
+        let err = v.swap_network(Arc::new(wide), &touched).expect_err("widened crossings");
+        assert!(matches!(err, VerifyError::Contract(ContractError::Unsound { .. })), "got {err}");
     }
 }

@@ -61,12 +61,13 @@ pub mod bounds;
 pub mod encoder;
 pub mod engine;
 pub mod invariant;
+pub mod modular;
 pub mod network;
 pub mod policy;
 pub mod slice;
 pub mod trace;
 
-pub use engine::{Backend, Report, Verdict, Verifier, VerifyError, VerifyOptions};
+pub use engine::{Backend, PartitionMode, Report, Verdict, Verifier, VerifyError, VerifyOptions};
 pub use invariant::Invariant;
 pub use network::Network;
 pub use policy::PolicyClasses;

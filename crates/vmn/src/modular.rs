@@ -1,0 +1,669 @@
+//! Modular verification: partitions, synthesized boundary contracts
+//! and the contract fast path.
+//!
+//! The network is split into modules ([`Partition`], explicit or from
+//! the auto-partitioner). For every directed live edge the synthesizer
+//! computes a [`WindowSet`] over-approximating the `(src, dst)` address
+//! headers of packets that can cross the edge under a scenario, by a
+//! worklist fixpoint over the delivery semantics of
+//! [`vmn_net::transfer`]:
+//!
+//! * a live host seeds its incident edges with `(own address, any)`
+//!   windows — the encoder only admits well-formed sends, so sources
+//!   cannot be spoofed (src seeds are widened to the covering aggregate
+//!   of host prefixes, which only adds headers and keeps the fixpoint
+//!   small on large estates);
+//! * a switch forwards a window to a live neighbour after narrowing the
+//!   destination side by the union of its rules toward that neighbour
+//!   (priorities and `from` qualifiers are ignored — a sound widening);
+//! * a middlebox re-emits the windows that pass
+//!   [`may_forward_windows`], a static per-model summary that collapses
+//!   to "anything" as soon as the model rewrites headers;
+//! * terminals deliver directly to adjacent terminals owning the
+//!   destination, and inject into every adjacent switch.
+//!
+//! Windows are built from prefixes mentioned in the configuration
+//! (intersection of two prefixes is the longer one or empty), so the
+//! fixpoint terminates.
+//!
+//! The window sets on cut edges *are* the module contracts: the set on
+//! an incoming cut edge is the module's ingress assumption, the set on
+//! an outgoing one its egress guarantee. Synthesized contracts compose
+//! by construction (each edge carries one set, so the guarantee equals
+//! the assumption); explicitly declared contracts are checked against
+//! the synthesis — a declared egress must cover the synthesized
+//! crossing ([`ContractError::Unsound`]) and imply the neighbour's
+//! ingress assumption ([`ContractError::Compose`]). Because the encoder
+//! is fail-stop (failed nodes neither send nor process), every
+//! scenario's crossings are a subset of the no-failure crossings, so
+//! one check against the no-failure synthesis covers all scenarios.
+//!
+//! The fast path answers isolation invariants whose endpoints lie in
+//! *different* modules: both `NodeIsolation` and `FlowIsolation`
+//! violations require `dst` to receive a packet whose source header is
+//! `src`'s address, so when no window on any live edge into `dst`
+//! admits such a header the invariant holds. Anything inconclusive
+//! falls back to the exact engine, which keeps modular verdicts and
+//! witnesses identical to the monolithic ones by construction.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use vmn_analysis::{
+    auto_partition, ContractError, ModuleContract, Partition, PortContract, WindowSet,
+};
+use vmn_mbox::{Action, Guard, KeyExpr, MboxModel};
+use vmn_net::{Address, FailureScenario, NodeId, Prefix, Topology};
+
+use crate::invariant::Invariant;
+use crate::network::Network;
+
+/// Recursion bound for state-read summaries (a rule inserting into a
+/// state set may itself be guarded by a state read).
+const STATE_DEPTH_LIMIT: u32 = 3;
+
+/// CIDR-aggregates a prefix list: covered prefixes are dropped and
+/// sibling pairs merge into their parent, repeatedly. The result is a
+/// disjoint cover of the input (exact, not a widening).
+pub fn aggregate_prefixes(mut ps: Vec<Prefix>) -> Vec<Prefix> {
+    loop {
+        ps.sort();
+        ps.dedup();
+        let snapshot = ps.clone();
+        ps.retain(|p| !snapshot.iter().any(|q| *q != *p && q.covers(*p)));
+        let mut out: Vec<Prefix> = Vec::with_capacity(ps.len());
+        let mut merged = false;
+        let mut i = 0;
+        while i < ps.len() {
+            if i + 1 < ps.len() && ps[i].len() == ps[i + 1].len() && ps[i].len() > 0 {
+                let parent = Prefix::new(ps[i].addr(), ps[i].len() - 1);
+                if parent.covers(ps[i + 1]) {
+                    out.push(parent);
+                    merged = true;
+                    i += 2;
+                    continue;
+                }
+            }
+            out.push(ps[i]);
+            i += 1;
+        }
+        ps = out;
+        if !merged {
+            return ps;
+        }
+    }
+}
+
+fn any_dst() -> Prefix {
+    Prefix::default_route()
+}
+
+/// Windows a packet may occupy while satisfying `g` — an
+/// over-approximation ("maybe" semantics: anything not expressible as
+/// address windows widens to `any`).
+fn guard_windows(model: &MboxModel, g: &Guard, depth: u32) -> WindowSet {
+    match g {
+        Guard::True
+        | Guard::Not(_)
+        | Guard::Oracle(_)
+        | Guard::SrcPortIs(_)
+        | Guard::DstPortIs(_)
+        | Guard::ProtoIs(_)
+        | Guard::OriginIn(_)
+        | Guard::OriginIs(_) => WindowSet::any(),
+        Guard::And(gs) => gs
+            .iter()
+            .fold(WindowSet::any(), |acc, g| acc.intersect(&guard_windows(model, g, depth))),
+        Guard::Or(gs) => {
+            let mut out = WindowSet::empty();
+            for g in gs {
+                out.union_with(&guard_windows(model, g, depth));
+            }
+            out
+        }
+        Guard::SrcIn(p) => WindowSet::window(*p, any_dst()),
+        Guard::DstIn(p) => WindowSet::window(any_dst(), *p),
+        Guard::SrcIs(a) => WindowSet::window(Prefix::host(*a), any_dst()),
+        Guard::DstIs(a) => WindowSet::window(any_dst(), Prefix::host(*a)),
+        Guard::AclMatch(name) => {
+            let mut out = WindowSet::empty();
+            for &(s, d) in model.acl_pairs(name).unwrap_or(&[]) {
+                out.insert((s, d));
+            }
+            out
+        }
+        Guard::StateContains { state, key } => state_read_windows(model, state, *key, depth),
+    }
+}
+
+/// Projects the windows of one header side into a prefix list, `None`
+/// meaning unconstrained.
+fn project(ws: &WindowSet, src_side: bool) -> Option<Vec<Prefix>> {
+    if ws.is_any() {
+        return None;
+    }
+    Some(ws.windows.iter().map(|&(s, d)| if src_side { s } else { d }).collect())
+}
+
+fn constrain(side_src: bool, ps: Option<Vec<Prefix>>) -> WindowSet {
+    match ps {
+        None => WindowSet::any(),
+        Some(v) => {
+            let mut out = WindowSet::empty();
+            for p in v {
+                if side_src {
+                    out.insert((p, any_dst()));
+                } else {
+                    out.insert((any_dst(), p));
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Windows of packets that can pass a `StateContains { state, key }`
+/// read: a function of the windows of packets that can *insert* into
+/// the state, combined per (read key, declared key). Models containing
+/// header rewrites never reach this (the whole summary widens to `any`
+/// first), so insert-time headers equal guard-time headers.
+fn state_read_windows(model: &MboxModel, state: &str, read_key: KeyExpr, depth: u32) -> WindowSet {
+    if depth >= STATE_DEPTH_LIMIT {
+        return WindowSet::any();
+    }
+    let Some(decl) = model.state_decl(state) else {
+        return WindowSet::any();
+    };
+    let mut inserted = WindowSet::empty();
+    for rule in &model.rules {
+        if rule.actions.iter().any(|a| matches!(a, Action::Insert(s) if s == state)) {
+            inserted.union_with(&guard_windows(model, &rule.guard, depth + 1));
+        }
+    }
+    use KeyExpr::*;
+    match (read_key, decl.key) {
+        // Origin keys are not constrained by address windows at all.
+        (Origin, _) | (_, Origin) => WindowSet::any(),
+        // Pair-valued keys match exactly (Flow is direction-normalised,
+        // so the reverse of an inserted pair also matches).
+        (Flow, Flow) | (SrcDst, SrcDst) => {
+            let mut out = inserted.clone();
+            out.union_with(&inserted.reversed());
+            out
+        }
+        // Address-valued keys: the read side's field must fall in the
+        // projection of the inserting windows on the declared side.
+        (SrcAddr, SrcAddr) => constrain(true, project(&inserted, true)),
+        (SrcAddr, DstAddr) => constrain(true, project(&inserted, false)),
+        (DstAddr, SrcAddr) => constrain(false, project(&inserted, true)),
+        (DstAddr, DstAddr) => constrain(false, project(&inserted, false)),
+        // Mixed pair/address combinations: some header field of the
+        // passing packet equals some field of an inserted one.
+        _ => {
+            let mut out = constrain(true, project(&inserted, true));
+            out.union_with(&constrain(true, project(&inserted, false)));
+            out.union_with(&constrain(false, project(&inserted, true)));
+            out.union_with(&constrain(false, project(&inserted, false)));
+            out
+        }
+    }
+}
+
+/// Static summary of a middlebox model: windows the box may forward.
+/// Collapses to `any` as soon as the model can rewrite or replay
+/// headers — after that the relation between input and output windows
+/// is lost.
+pub fn may_forward_windows(model: &MboxModel) -> WindowSet {
+    for rule in &model.rules {
+        for a in &rule.actions {
+            if matches!(
+                a,
+                Action::RewriteSrc(_)
+                    | Action::RewriteDst(_)
+                    | Action::RewriteDstOneOf(_)
+                    | Action::RewriteSrcPortFresh
+                    | Action::RestoreDstFromState(_)
+                    | Action::RespondFromState(_)
+            ) {
+                return WindowSet::any();
+            }
+        }
+    }
+    let mut out = WindowSet::empty();
+    for rule in &model.rules {
+        if rule.actions.iter().any(|a| matches!(a, Action::Forward)) {
+            out.union_with(&guard_windows(model, &rule.guard, 0));
+            if out.is_any() {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// The synthesized crossings of one scenario: for each directed live
+/// edge, the windows packets crossing it may occupy.
+#[derive(Debug, Default)]
+pub struct CrossMap {
+    pub cross: HashMap<(NodeId, NodeId), WindowSet>,
+}
+
+impl CrossMap {
+    /// Windows crossing `from -> to` (empty if nothing can).
+    pub fn windows(&self, from: NodeId, to: NodeId) -> WindowSet {
+        self.cross.get(&(from, to)).cloned().unwrap_or_else(WindowSet::empty)
+    }
+}
+
+/// Runs the window-propagation fixpoint for one scenario.
+pub fn synthesize(net: &Network, scenario: &FailureScenario) -> CrossMap {
+    let topo = &net.topo;
+    let filters: HashMap<NodeId, WindowSet> = topo
+        .middleboxes()
+        .filter(|&m| !scenario.is_failed(m))
+        .map(|m| (m, may_forward_windows(net.model(m))))
+        .collect();
+    // Source widening vocabulary: the CIDR aggregate of all host /32s.
+    // Widening a seed to its aggregate block only adds headers (sound)
+    // and collapses per-host windows into per-subnet ones.
+    let agg = aggregate_prefixes(topo.host_prefixes());
+    let widen =
+        |a: Address| agg.iter().copied().find(|p| p.contains(a)).unwrap_or_else(|| Prefix::host(a));
+    // Per-(switch, next-hop) aggregated destination narrowing.
+    let mut narrow: HashMap<(NodeId, NodeId), Vec<Prefix>> = HashMap::new();
+    for (sw, node) in topo.nodes() {
+        if node.kind.is_terminal() {
+            continue;
+        }
+        let mut by_next: HashMap<NodeId, Vec<Prefix>> = HashMap::new();
+        for r in net.tables.rules(sw) {
+            by_next.entry(r.next).or_default().push(r.prefix);
+        }
+        for (next, ps) in by_next {
+            narrow.insert((sw, next), aggregate_prefixes(ps));
+        }
+    }
+
+    let mut cross: HashMap<(NodeId, NodeId), WindowSet> = HashMap::new();
+    let mut reach: HashMap<NodeId, WindowSet> = HashMap::new();
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    let mut queued: BTreeSet<NodeId> = BTreeSet::new();
+    for h in topo.hosts().filter(|&h| !scenario.is_failed(h)) {
+        queue.push_back(h);
+        queued.insert(h);
+    }
+
+    while let Some(v) = queue.pop_front() {
+        queued.remove(&v);
+        if scenario.is_failed(v) {
+            continue;
+        }
+        let node = topo.node(v);
+        // Windows this node can emit (switches are narrowed per edge
+        // below instead).
+        let emit: WindowSet = if node.kind.is_host() {
+            let mut seed = WindowSet::empty();
+            for &a in &node.addresses {
+                seed.insert((widen(a), any_dst()));
+            }
+            seed
+        } else if node.kind.is_middlebox() {
+            let arrived = reach.get(&v).cloned().unwrap_or_else(WindowSet::empty);
+            match filters.get(&v) {
+                Some(f) => arrived.intersect(f),
+                None => WindowSet::empty(),
+            }
+        } else {
+            reach.get(&v).cloned().unwrap_or_else(WindowSet::empty)
+        };
+        if emit.is_empty() {
+            continue;
+        }
+        let neighbors: Vec<NodeId> = topo.live_neighbors(v, scenario).collect();
+        for x in neighbors {
+            let w = if node.kind.is_terminal() {
+                // Entry semantics of `deliver`: direct hand-off to a
+                // terminal neighbour owning the destination, injection
+                // into any switch neighbour.
+                if topo.node(x).kind.is_terminal() {
+                    let owned = aggregate_prefixes(
+                        topo.node(x).addresses.iter().copied().map(Prefix::host).collect(),
+                    );
+                    let mut owned_ws = WindowSet::empty();
+                    for p in owned {
+                        owned_ws.insert((any_dst(), p));
+                    }
+                    emit.intersect(&owned_ws)
+                } else {
+                    emit.clone()
+                }
+            } else {
+                // Switch hop: destination narrowed by the union of
+                // rules toward this neighbour.
+                match narrow.get(&(v, x)) {
+                    Some(ps) => {
+                        let mut out = WindowSet::empty();
+                        for &p in ps {
+                            out.union_with(&emit.narrow_dst(p));
+                        }
+                        out
+                    }
+                    None => WindowSet::empty(),
+                }
+            };
+            if w.is_empty() {
+                continue;
+            }
+            let grew = cross.entry((v, x)).or_default().union_with(&w);
+            if grew && !topo.node(x).kind.is_host() {
+                let r = reach.entry(x).or_default();
+                if r.union_with(&w) && queued.insert(x) {
+                    queue.push_back(x);
+                }
+            }
+        }
+    }
+    CrossMap { cross }
+}
+
+/// A partition resolved against a concrete topology, plus the contract
+/// machinery: boundary edges, declared contracts (if any) and the
+/// per-scenario synthesis cache.
+pub struct ModularContext {
+    pub partition: Partition,
+    /// `NodeId::index() -> module index` (always `Some` — a validated
+    /// partition covers the topology).
+    module_ix: Vec<Option<usize>>,
+    /// Undirected boundary (cut) link endpoints, normalised `a < b`.
+    boundary: BTreeSet<(NodeId, NodeId)>,
+    /// Declared contracts, already validated against the no-failure
+    /// synthesis. Empty in auto mode.
+    pub contracts: Vec<ModuleContract>,
+    cache: Mutex<HashMap<String, Arc<CrossMap>>>,
+}
+
+impl ModularContext {
+    /// Resolves a validated partition against the topology.
+    pub fn resolve(
+        topo: &Topology,
+        partition: Partition,
+    ) -> Result<ModularContext, vmn_analysis::PartitionError> {
+        partition.validate(topo.nodes().map(|(_, n)| n.name.as_str()))?;
+        let mut module_ix = vec![None; topo.nodes().count()];
+        for (mi, m) in partition.modules.iter().enumerate() {
+            for name in &m.nodes {
+                // Validation has already checked every module node names
+                // a real topology node.
+                let id = topo.by_name(name).expect("validated partition node");
+                module_ix[id.index()] = Some(mi);
+            }
+        }
+        let mut boundary = BTreeSet::new();
+        for l in topo.links() {
+            if module_ix[l.a.index()] != module_ix[l.b.index()] {
+                boundary.insert((l.a.min(l.b), l.a.max(l.b)));
+            }
+        }
+        Ok(ModularContext {
+            partition,
+            module_ix,
+            boundary,
+            contracts: Vec::new(),
+            cache: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Builds the auto-partitioned context: cut on low-connectivity
+    /// boundaries (bridge links between infrastructure nodes).
+    pub fn auto(topo: &Topology) -> ModularContext {
+        let nodes: Vec<(String, bool)> =
+            topo.nodes().map(|(_, n)| (n.name.clone(), !n.kind.is_host())).collect();
+        let links: Vec<(String, String)> = topo
+            .links()
+            .iter()
+            .map(|l| (topo.node(l.a).name.clone(), topo.node(l.b).name.clone()))
+            .collect();
+        let partition = auto_partition(&nodes, &links);
+        ModularContext::resolve(topo, partition).expect("auto partition is always valid")
+    }
+
+    pub fn module_count(&self) -> usize {
+        self.partition.len()
+    }
+
+    pub fn boundary_len(&self) -> usize {
+        self.boundary.len()
+    }
+
+    /// Module index of a node.
+    pub fn module_of(&self, n: NodeId) -> Option<usize> {
+        self.module_ix.get(n.index()).copied().flatten()
+    }
+
+    fn is_boundary(&self, a: NodeId, b: NodeId) -> bool {
+        self.boundary.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// Validates declared contracts against the no-failure synthesis
+    /// and checks they compose, then installs them. Sound for every
+    /// scenario: failures only remove behaviours, so each scenario's
+    /// crossings are a subset of the no-failure crossings.
+    pub fn install_contracts(
+        &mut self,
+        net: &Network,
+        contracts: Vec<ModuleContract>,
+    ) -> Result<(), ContractError> {
+        let synth = synthesize(net, &FailureScenario::none());
+        let resolve_edge = |pc: &PortContract| -> Result<(NodeId, NodeId), ContractError> {
+            let unknown =
+                || ContractError::UnknownEdge { from: pc.from.clone(), to: pc.to.clone() };
+            let f = net.topo.by_name(&pc.from).map_err(|_| unknown())?;
+            let t = net.topo.by_name(&pc.to).map_err(|_| unknown())?;
+            if !self.is_boundary(f, t) {
+                return Err(unknown());
+            }
+            Ok((f, t))
+        };
+        // Egress guarantees must cover the synthesized crossings.
+        for mc in &contracts {
+            for pc in &mc.egress {
+                let (f, t) = resolve_edge(pc)?;
+                let actual = synth.windows(f, t);
+                if !actual.implies(&pc.windows) {
+                    return Err(ContractError::Unsound {
+                        from: pc.from.clone(),
+                        to: pc.to.clone(),
+                        window: actual.to_string(),
+                    });
+                }
+            }
+            // Ingress assumptions must also cover the synthesized
+            // crossings — a module check that assumes less than what can
+            // actually arrive would be unsound even if no neighbour
+            // declares an egress on the edge (undeclared guarantees
+            // default to the synthesis).
+            for pc in &mc.ingress {
+                let (f, t) = resolve_edge(pc)?;
+                let actual = synth.windows(f, t);
+                if !actual.implies(&pc.windows) {
+                    return Err(ContractError::Unsound {
+                        from: pc.from.clone(),
+                        to: pc.to.clone(),
+                        window: actual.to_string(),
+                    });
+                }
+            }
+        }
+        // Every egress guarantee must imply the neighbouring module's
+        // ingress assumption on the same directed edge (undeclared
+        // assumptions default to `any`).
+        for mc in &contracts {
+            for pc in &mc.egress {
+                for other in &contracts {
+                    if other.module == mc.module {
+                        continue;
+                    }
+                    for ic in &other.ingress {
+                        if ic.from == pc.from && ic.to == pc.to && !pc.windows.implies(&ic.windows)
+                        {
+                            return Err(ContractError::Compose {
+                                from: pc.from.clone(),
+                                to: pc.to.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        self.contracts = contracts;
+        Ok(())
+    }
+
+    /// The memoized per-scenario synthesis.
+    pub fn cross_for(&self, net: &Network, scenario: &FailureScenario) -> Arc<CrossMap> {
+        let key = format!("{scenario:?}");
+        let mut cache = match self.cache.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        cache.entry(key).or_insert_with(|| Arc::new(synthesize(net, scenario))).clone()
+    }
+
+    /// Drops all memoized syntheses (after a network swap).
+    pub fn clear_cache(&self) {
+        match self.cache.lock() {
+            Ok(mut g) => g.clear(),
+            Err(p) => p.into_inner().clear(),
+        }
+    }
+
+    /// The contract fast path: `Some(())`-style `true` means the
+    /// invariant provably holds under `scenario`; `false` means
+    /// inconclusive (fall back to the exact engine). Only isolation
+    /// invariants whose endpoints are hosts in *different* modules are
+    /// attempted — both violation encodings require `dst` to receive a
+    /// packet whose source header is `src`'s address, so it suffices
+    /// that no window on any live edge into `dst` admits one.
+    pub fn contract_holds(
+        &self,
+        net: &Network,
+        inv: &Invariant,
+        scenario: &FailureScenario,
+    ) -> bool {
+        let (src, dst) = match inv {
+            Invariant::NodeIsolation { src, dst } | Invariant::FlowIsolation { src, dst } => {
+                (*src, *dst)
+            }
+            _ => return false,
+        };
+        let topo = &net.topo;
+        if !topo.node(src).kind.is_host() || !topo.node(dst).kind.is_host() {
+            return false;
+        }
+        match (self.module_of(src), self.module_of(dst)) {
+            (Some(a), Some(b)) if a != b => {}
+            _ => return false,
+        }
+        let saddr = Prefix::host(net.host_address(src));
+        let cross = self.cross_for(net, scenario);
+        !topo
+            .live_neighbors(dst, scenario)
+            .any(|x| cross.windows(x, dst).admits_window(saddr, any_dst()))
+    }
+
+    /// The synthesized per-module contracts under no failures — the
+    /// ingress assumptions and egress guarantees the engine actually
+    /// uses, in declaration form (for reporting and the CLI).
+    pub fn synthesized_contracts(&self, net: &Network) -> Vec<ModuleContract> {
+        let synth = synthesize(net, &FailureScenario::none());
+        let name = |n: NodeId| net.topo.node(n).name.clone();
+        let mut out: Vec<ModuleContract> = self
+            .partition
+            .modules
+            .iter()
+            .map(|m| ModuleContract { module: m.name.clone(), ..Default::default() })
+            .collect();
+        for &(a, b) in &self.boundary {
+            for (f, t) in [(a, b), (b, a)] {
+                let windows = synth.windows(f, t);
+                let (fm, tm) = (self.module_of(f), self.module_of(t));
+                if let Some(fm) = fm {
+                    out[fm].egress.push(PortContract {
+                        from: name(f),
+                        to: name(t),
+                        windows: windows.clone(),
+                    });
+                }
+                if let Some(tm) = tm {
+                    out[tm].ingress.push(PortContract { from: name(f), to: name(t), windows });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmn_mbox::models;
+
+    fn px(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn aggregate_merges_aligned_blocks() {
+        let ps: Vec<Prefix> =
+            (0..16).map(|h| Prefix::host(Address::from_octets([10, 1, 0, h]))).collect();
+        assert_eq!(aggregate_prefixes(ps), vec![px("10.1.0.0/28")]);
+        // Non-aligned singletons stay put.
+        let ps = vec![px("10.0.0.1/32"), px("10.0.0.2/32")];
+        assert_eq!(aggregate_prefixes(ps.clone()), ps);
+        // Covered prefixes are dropped.
+        let ps = vec![px("10.0.0.0/8"), px("10.1.0.0/16")];
+        assert_eq!(aggregate_prefixes(ps), vec![px("10.0.0.0/8")]);
+    }
+
+    #[test]
+    fn learning_firewall_summary_is_acl_closure() {
+        let fw = models::learning_firewall("fw", vec![(px("10.1.0.0/16"), px("10.2.0.0/16"))]);
+        let w = may_forward_windows(&fw);
+        assert!(!w.is_any());
+        // Forward direction from the ACL…
+        assert!(w.admits("10.1.0.1".parse().unwrap(), "10.2.0.1".parse().unwrap()));
+        // …reverse direction through the flow-keyed state…
+        assert!(w.admits("10.2.0.1".parse().unwrap(), "10.1.0.1".parse().unwrap()));
+        // …and nothing else.
+        assert!(!w.admits("10.3.0.1".parse().unwrap(), "10.2.0.1".parse().unwrap()));
+    }
+
+    #[test]
+    fn rewriting_models_collapse_to_any() {
+        let nat = models::nat("nat", px("10.0.0.0/8"), "1.2.3.4".parse().unwrap());
+        assert!(may_forward_windows(&nat).is_any());
+        let cache = models::content_cache("cache", [px("10.1.0.0/16")], vec![]);
+        assert!(may_forward_windows(&cache).is_any());
+        let lb = models::load_balancer(
+            "lb",
+            "10.0.0.100".parse().unwrap(),
+            vec!["10.0.0.1".parse().unwrap()],
+        );
+        assert!(may_forward_windows(&lb).is_any());
+    }
+
+    #[test]
+    fn pass_through_models_forward_everything() {
+        assert!(may_forward_windows(&models::gateway("gw")).is_any());
+        assert!(may_forward_windows(&models::idps("idps")).is_any());
+    }
+
+    #[test]
+    fn acl_firewall_summary_is_exactly_the_acl() {
+        let fw = models::acl_firewall("fw", vec![(px("10.1.0.0/16"), px("10.2.0.0/16"))]);
+        let w = may_forward_windows(&fw);
+        assert!(w.admits("10.1.0.1".parse().unwrap(), "10.2.0.1".parse().unwrap()));
+        // Stateless: no reverse closure.
+        assert!(!w.admits("10.2.0.1".parse().unwrap(), "10.1.0.1".parse().unwrap()));
+    }
+}

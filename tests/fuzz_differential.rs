@@ -26,7 +26,10 @@
 //! slices are answered by the BDD dataplane fast path instead of the
 //! solver: verdicts, scenario counts and first violating scenarios must
 //! still match the SMT oracle, and BDD-synthesized witnesses must replay
-//! on the concrete simulator exactly like SMT ones. Finally, every case
+//! on the concrete simulator exactly like SMT ones. The same sweep also
+//! runs the auto-partitioned modular engine (`PartitionMode::Auto`),
+//! whose backend split additionally counts contract-answered scenarios
+//! and must still agree on every observable. Finally, every case
 //! runs a mixed-backend `verify_all` sweep with a duplicated invariant:
 //! the inherited report must zero all cost fields (elapsed, solver
 //! deltas, BDD deltas, certificate) while keeping the representative's
@@ -38,7 +41,7 @@
 use proptest::prelude::*;
 use proptest::test_runner::TestRng;
 use std::collections::HashMap;
-use vmn::{Invariant, Network, Verdict, Verifier, VerifyOptions};
+use vmn::{Invariant, Network, PartitionMode, Verdict, Verifier, VerifyOptions};
 use vmn_mbox::exec::KeyVal;
 use vmn_mbox::models;
 use vmn_net::{Address, FailureScenario, Header, NodeId, Prefix, RoutingConfig, Rule, Topology};
@@ -387,9 +390,23 @@ fn run_case(seed: u64) {
     // replay concretely. No certificate assertions: the fast path emits
     // no proofs, which is exactly why `Auto` only uses it when proofs
     // are off.
-    for (engine, incremental) in [("auto-routed", true), ("auto-routed-baseline", false)] {
-        let options =
-            VerifyOptions { policy_hint: case.hint.clone(), incremental, ..Default::default() };
+    // `modular` adds the auto-partitioned modular engine to the sweep:
+    // on hub topologies the partition is usually degenerate (one
+    // module), so this pins the recovery property — modular mode must
+    // reproduce the monolithic engine exactly when nothing cross-module
+    // is discharged — while the multi-site battery in
+    // `modular_vs_monolithic.rs` covers the contract fast path.
+    for (engine, incremental, partition) in [
+        ("auto-routed", true, PartitionMode::Off),
+        ("auto-routed-baseline", false, PartitionMode::Off),
+        ("modular", true, PartitionMode::Auto),
+    ] {
+        let options = VerifyOptions {
+            policy_hint: case.hint.clone(),
+            incremental,
+            partition,
+            ..Default::default()
+        };
         let v = Verifier::new(&case.net, options).expect("valid network");
         let got = v.verify(&case.inv).expect("routed verify succeeds");
         assert_eq!(
@@ -402,7 +419,7 @@ fn run_case(seed: u64) {
             "{label}: {engine} scenario count diverges"
         );
         assert_eq!(
-            got.smt_scenarios + got.bdd_scenarios,
+            got.smt_scenarios + got.bdd_scenarios + got.contract_scenarios,
             got.scenarios_checked,
             "{label}: {engine} backend split must cover the sweep"
         );

@@ -1,0 +1,305 @@
+//! Randomized differential battery for the modular engine: random
+//! multi-site topologies (hosts behind an in-line per-site ACL
+//! firewall, sites joined by a core switch), random ACL openings,
+//! random failure scenarios and random partitions — per-site, arbitrary
+//! (nodes shuffled into modules with no topological sense), automatic,
+//! and degenerate single-module. For every case the modular engine must
+//! agree with the monolithic oracle on the verdict, the scenario count
+//! and the first violating scenario; every violation witness must
+//! replay into a real forbidden reception on the concrete simulator;
+//! and the backend split (smt + bdd + contract) must cover the sweep.
+//!
+//! Declared contracts are exercised in both directions: sound
+//! (everything-admitting) contracts must change no verdict, and
+//! deliberately unsound contracts must surface as a typed
+//! [`VerifyError::Contract`] at verifier construction — never a silent
+//! pass.
+//!
+//! Cases derive from the proptest harness's deterministic per-test
+//! seed; set `VMN_FUZZ_CASES` to bound the case count.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use vmn::{Invariant, Network, PartitionMode, Verdict, Verifier, VerifyError, VerifyOptions};
+use vmn_analysis::{ContractError, Module, ModuleContract, PortContract, WindowSet};
+use vmn_mbox::models;
+use vmn_net::{Address, FailureScenario, NodeId, Prefix, RoutingConfig, Rule, Topology};
+
+fn fuzz_cases() -> u32 {
+    match std::env::var("VMN_FUZZ_CASES") {
+        Ok(v) => v.parse().expect("VMN_FUZZ_CASES must be a number"),
+        Err(_) => 96,
+    }
+}
+
+fn px(s: &str) -> Prefix {
+    s.parse().unwrap()
+}
+
+fn site_prefix(b: usize) -> Prefix {
+    Prefix::new(Address::from_octets([10, b as u8 + 1, 0, 0]), 16)
+}
+
+/// One generated verification problem over a multi-site estate.
+struct Case {
+    net: Network,
+    /// Per site: host ids. Firewalls are `fw<b>`, site switches
+    /// `ssw<b>`, the core switch is `core`.
+    hosts: Vec<Vec<NodeId>>,
+    firewalls: Vec<NodeId>,
+    inv: Invariant,
+    label: String,
+}
+
+/// Builds a random estate: 2..=3 sites of 2..=3 hosts each, hosts on a
+/// site switch, an in-line ACL firewall toward the core. Each firewall
+/// admits its own site's sources; with probability ~1/3 it is also
+/// (mis)opened to one foreign site, creating cross-site violations.
+fn generate(rng: &mut TestRng) -> Case {
+    let sites = 2 + rng.below(2) as usize;
+    let per_site = 2 + rng.below(2) as usize;
+    let mut topo = Topology::new();
+    let core = topo.add_switch("core");
+    let mut hosts: Vec<Vec<NodeId>> = Vec::new();
+    let mut switches: Vec<NodeId> = Vec::new();
+    let mut firewalls: Vec<NodeId> = Vec::new();
+    for b in 0..sites {
+        let ssw = topo.add_switch(format!("ssw{b}"));
+        let fw = topo.add_middlebox(format!("fw{b}"), format!("site-fw-{b}"), vec![]);
+        topo.add_link(ssw, fw);
+        topo.add_link(fw, core);
+        let mut site_hosts = Vec::new();
+        for k in 0..per_site {
+            let h = topo.add_host(
+                format!("h{b}x{k}"),
+                Address::from_octets([10, b as u8 + 1, 0, k as u8 + 1]),
+            );
+            topo.add_link(h, ssw);
+            site_hosts.push(h);
+        }
+        hosts.push(site_hosts);
+        switches.push(ssw);
+        firewalls.push(fw);
+    }
+
+    let mut rc = RoutingConfig::new();
+    rc.host_routes(&topo);
+    let mut tables = rc.build(&topo, &FailureScenario::none());
+    // The firewalls sit in line and BFS routing never transits a
+    // terminal, so the inter-site legs are explicit `from`-scoped rules
+    // (an unscoped rule would bounce a firewall's re-emission straight
+    // back into it).
+    for b in 0..sites {
+        for &h in &hosts[b] {
+            tables.add_rule(
+                switches[b],
+                Rule::from_neighbor(px("10.0.0.0/8"), h, firewalls[b]).with_priority(-10),
+            );
+        }
+    }
+    for from in 0..sites {
+        for to in 0..sites {
+            if from != to {
+                tables.add_rule(
+                    core,
+                    Rule::from_neighbor(site_prefix(to), firewalls[from], firewalls[to]),
+                );
+            }
+        }
+    }
+
+    let mut net = Network::new(topo, tables);
+    let mut label = format!("sites={sites} per_site={per_site}");
+    for (b, &fw) in firewalls.iter().enumerate() {
+        let mut allow = vec![(site_prefix(b), Prefix::default_route())];
+        if rng.below(3) == 0 {
+            // A misconfigured opening toward one foreign site.
+            let other = (b + 1 + rng.below(sites as u64 - 1) as usize) % sites;
+            allow.push((site_prefix(other), site_prefix(b)));
+            label.push_str(&format!(" open:{other}->{b}"));
+        }
+        net.set_model(fw, models::acl_firewall(&format!("site-fw-{b}"), allow));
+    }
+
+    // 1..=2 failure scenarios over the firewalls.
+    for _ in 0..=rng.below(2) {
+        let mut failed = vec![firewalls[rng.below(sites as u64) as usize]];
+        if rng.below(3) == 0 {
+            failed.push(firewalls[rng.below(sites as u64) as usize]);
+        }
+        failed.sort();
+        failed.dedup();
+        net.add_scenario(FailureScenario::nodes(failed));
+    }
+
+    // A random isolation invariant over distinct hosts (cross- or
+    // intra-site, so both the contract fast path and the exact fallback
+    // are exercised).
+    let all: Vec<NodeId> = hosts.iter().flatten().copied().collect();
+    let src = all[rng.below(all.len() as u64) as usize];
+    let dst = loop {
+        let d = all[rng.below(all.len() as u64) as usize];
+        if d != src {
+            break d;
+        }
+    };
+    let inv = if rng.below(2) == 0 {
+        Invariant::NodeIsolation { src, dst }
+    } else {
+        Invariant::FlowIsolation { src, dst }
+    };
+    label.push_str(&format!(" inv={inv}"));
+    Case { net, hosts, firewalls, inv, label }
+}
+
+/// The natural per-site partition (plus a core module).
+fn site_partition(case: &Case) -> vmn_analysis::Partition {
+    let name = |n: NodeId| case.net.topo.node(n).name.clone();
+    let mut modules: Vec<Module> = (0..case.hosts.len())
+        .map(|b| {
+            let mut nodes: std::collections::BTreeSet<String> =
+                [format!("ssw{b}"), name(case.firewalls[b])].into();
+            nodes.extend(case.hosts[b].iter().map(|&h| name(h)));
+            Module { name: format!("site{b}"), nodes }
+        })
+        .collect();
+    modules.push(Module { name: "core".into(), nodes: ["core".to_string()].into() });
+    vmn_analysis::Partition { modules }
+}
+
+/// An arbitrary partition: every node shuffled into one of `k` modules
+/// with no topological sense. Soundness must not depend on the cut
+/// being a good one.
+fn random_partition(case: &Case, k: usize, rng: &mut TestRng) -> vmn_analysis::Partition {
+    let mut modules: Vec<Module> =
+        (0..k).map(|i| Module { name: format!("m{i}"), nodes: Default::default() }).collect();
+    for (i, (_, node)) in case.net.topo.nodes().enumerate() {
+        // Every module must be non-empty for the partition to validate;
+        // pin the first k nodes, scatter the rest.
+        let m = if i < k { i } else { rng.below(k as u64) as usize };
+        modules[m].nodes.insert(node.name.clone());
+    }
+    vmn_analysis::Partition { modules }
+}
+
+fn verify_with(case: &Case, partition: PartitionMode) -> vmn::Report {
+    let options = VerifyOptions { partition, ..Default::default() };
+    let v = Verifier::new(&case.net, options).expect("valid network");
+    v.verify(&case.inv).expect("verify succeeds")
+}
+
+fn run_case(seed: u64) {
+    let mut rng = TestRng::new(seed);
+    let case = generate(&mut rng);
+    let label = &case.label;
+
+    let want = verify_with(&case, PartitionMode::Off);
+    if let Verdict::Violated { trace, scenario } = &want.verdict {
+        let receptions = trace.replay(&case.net, scenario).expect("oracle witness replays");
+        assert!(!receptions.is_empty(), "{label}: oracle witness replays to no reception");
+    }
+
+    // Sound everything-admitting declared contracts on one boundary
+    // edge: must be accepted and must change nothing.
+    let declared = vec![ModuleContract {
+        module: "site0".into(),
+        ingress: vec![PortContract {
+            from: "core".into(),
+            to: case.net.topo.node(case.firewalls[0]).name.clone(),
+            windows: WindowSet::any(),
+        }],
+        egress: vec![PortContract {
+            from: case.net.topo.node(case.firewalls[0]).name.clone(),
+            to: "core".into(),
+            windows: WindowSet::any(),
+        }],
+    }];
+    let mut partitions = vec![
+        (
+            "site-partition",
+            PartitionMode::Explicit { partition: site_partition(&case), contracts: vec![] },
+        ),
+        (
+            "site-partition+contracts",
+            PartitionMode::Explicit { partition: site_partition(&case), contracts: declared },
+        ),
+        ("auto", PartitionMode::Auto),
+        (
+            "degenerate",
+            PartitionMode::Explicit {
+                partition: random_partition(&case, 1, &mut rng),
+                contracts: vec![],
+            },
+        ),
+    ];
+    let k = 2 + rng.below(2) as usize;
+    partitions.push((
+        "random-partition",
+        PartitionMode::Explicit {
+            partition: random_partition(&case, k, &mut rng),
+            contracts: vec![],
+        },
+    ));
+
+    for (engine, mode) in partitions {
+        let got = verify_with(&case, mode);
+        assert_eq!(
+            got.verdict.holds(),
+            want.verdict.holds(),
+            "{label}: {engine} verdict diverges from the monolithic oracle"
+        );
+        assert_eq!(
+            got.scenarios_checked, want.scenarios_checked,
+            "{label}: {engine} scenario count diverges"
+        );
+        assert_eq!(
+            got.smt_scenarios + got.bdd_scenarios + got.contract_scenarios,
+            got.scenarios_checked,
+            "{label}: {engine} backend split must cover the sweep"
+        );
+        if let (Verdict::Violated { scenario: gs, trace }, Verdict::Violated { scenario: ws, .. }) =
+            (&got.verdict, &want.verdict)
+        {
+            assert_eq!(gs, ws, "{label}: {engine} first violating scenario diverges");
+            let receptions = trace.replay(&case.net, gs).expect("modular witness replays");
+            assert!(!receptions.is_empty(), "{label}: {engine} witness replays to no reception");
+        }
+    }
+
+    // A deliberately unsound declared contract: an egress guarantee that
+    // admits only a bogus block no site uses. The verifier must reject
+    // it with the typed contract error at construction — silently
+    // accepting it would let every cross-site check pass vacuously.
+    let unsound = vec![ModuleContract {
+        module: "site0".into(),
+        ingress: vec![],
+        egress: vec![PortContract {
+            from: case.net.topo.node(case.firewalls[0]).name.clone(),
+            to: "core".into(),
+            windows: WindowSet::window(px("192.168.0.0/16"), px("192.168.0.0/16")),
+        }],
+    }];
+    let options = VerifyOptions {
+        partition: PartitionMode::Explicit { partition: site_partition(&case), contracts: unsound },
+        ..Default::default()
+    };
+    match Verifier::new(&case.net, options) {
+        Err(VerifyError::Contract(ContractError::Unsound { from, to, .. })) => {
+            assert_eq!(from, case.net.topo.node(case.firewalls[0]).name);
+            assert_eq!(to, "core");
+        }
+        Err(e) => panic!("{label}: unsound contract surfaced as the wrong error: {e}"),
+        Ok(_) => panic!("{label}: unsound contract silently accepted"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fuzz_cases()))]
+
+    /// Modular and monolithic engines agree on random estates under
+    /// random partitions; unsound contracts are typed errors.
+    #[test]
+    fn modular_matches_monolithic(seed in any::<u64>()) {
+        run_case(seed);
+    }
+}

@@ -12,13 +12,18 @@
 //! * the aggregated per-invariant verdicts (`NetSession::verdicts`)
 //!   report the first violating scenario in configured sweep order;
 //! * the delta report's cache accounting is conserved: every pair is
-//!   prefiltered, fingerprint-hit, or re-checked — nothing is dropped.
+//!   prefiltered, contract-answered, fingerprint-hit, or re-checked —
+//!   nothing is dropped.
 //!
 //! This is the soundness argument for the daemon's verdict cache: the
-//! prefilter / fingerprint / recheck ladder may skip arbitrary solver
-//! work, but must never change an answer. Cases derive from the
-//! proptest per-test seed; `VMN_FUZZ_CASES` bounds the case count
-//! (CI pins a small subset, the default is 60).
+//! prefilter / contract / fingerprint / recheck ladder may skip
+//! arbitrary solver work, but must never change an answer. Cases derive
+//! from the proptest per-test seed; `VMN_FUZZ_CASES` bounds the case
+//! count (CI pins a small subset, the default is 60). A deterministic
+//! companion (`module_confined_deltas`) drives a partitioned two-site
+//! estate and pins the modular ladder rung: single-module deltas leave
+//! the other module's pairs prefiltered and its pooled sessions alive,
+//! while cross-module pairs are re-answered from boundary contracts.
 
 use proptest::prelude::*;
 use proptest::test_runner::TestRng;
@@ -272,7 +277,7 @@ fn run_case(seed: u64) {
             .apply(&batch)
             .unwrap_or_else(|e| panic!("{label} step {step}: delta rejected: {e}\n{batch:?}"));
         assert_eq!(
-            report.prefiltered + report.cache_hits + report.rechecked,
+            report.prefiltered + report.contract_answered + report.cache_hits + report.rechecked,
             report.pairs,
             "{label} step {step}: cache accounting must conserve pairs: {report:?}"
         );
@@ -294,4 +299,110 @@ proptest! {
     fn delta_stream_matches_from_scratch(seed in any::<u64>()) {
         run_case(seed);
     }
+}
+
+/// A two-site estate under `partition auto`: deltas confined to one
+/// site must re-check only that module's pairs — the other site's
+/// intra-module pairs stay prefiltered, cross-module pairs are
+/// re-answered by the boundary contracts without touching a solver, and
+/// only a strict subset of the pooled sessions is retired. The
+/// from-scratch oracle runs monolithically, so every step is also a
+/// modular-vs-monolithic differential check.
+#[test]
+fn module_confined_deltas() {
+    let config = "\
+host a1 10.1.0.1
+host a2 10.1.0.2
+host b1 10.2.0.1
+host b2 10.2.0.2
+switch asw
+switch bsw
+switch core
+acl-firewall afw allow 10.1.0.0/16 -> 0.0.0.0/0
+acl-firewall bfw allow 10.2.0.0/16 -> 0.0.0.0/0
+firewall sfw allow 10.2.0.0/16 -> 10.2.0.0/16
+link a1 asw
+link a2 asw
+link b1 bsw
+link b2 bsw
+link sfw bsw
+link asw afw
+link afw core
+link bsw bfw
+link bfw core
+autoroute
+steer asw from a1 10.0.0.0/8 afw prio -10
+steer asw from a2 10.0.0.0/8 afw prio -10
+steer bsw from b1 10.0.0.0/8 bfw prio -10
+steer bsw from b2 10.0.0.0/8 bfw prio -10
+steer bsw from b2 10.2.0.0/16 sfw prio 10
+steer core from afw 10.2.0.0/16 bfw
+steer core from bfw 10.1.0.0/16 afw
+partition auto
+fail afw
+verify node-isolation a1 -> b1
+verify node-isolation b1 -> a1
+verify node-isolation a2 -> a1
+verify node-isolation b2 -> b1
+";
+    let (mut session, load) =
+        NetSession::load(config, VerifyOptions::default()).expect("estate loads");
+    assert!(load.modules >= 2, "partition auto must split the estate: {load:?}");
+    assert_eq!(session.module_count(), load.modules);
+    // Cross-site pairs (2 invariants x 2 scenarios) are discharged by
+    // the boundary contracts already at load; the intra-site pairs hit
+    // the exact engine.
+    assert_eq!(load.contract_answered, 4, "{load:?}");
+    assert_eq!(
+        load.prefiltered + load.contract_answered + load.cache_hits + load.rechecked,
+        load.pairs,
+        "{load:?}"
+    );
+    assert_matches_scratch(&session, "after load");
+
+    // A model rewrite confined to site A: one module touched, site B's
+    // intra pair stays prefiltered, cross pairs re-answered from the
+    // contracts, and only part of the warmed session pool is retired.
+    let pooled_before = session.verifier().pooled_sessions();
+    assert!(pooled_before > 0, "load warms the session pool");
+    let delta = Delta::SetModel {
+        name: "afw".into(),
+        kind: "acl-firewall".into(),
+        args: ["allow", "10.1.0.0/24", "->", "0.0.0.0/0"].map(String::from).to_vec(),
+    };
+    let report = session.apply(std::slice::from_ref(&delta)).expect("delta applies");
+    assert_eq!(report.modules_touched, Some(1), "{report:?}");
+    assert_eq!(report.contract_answered, 4, "{report:?}");
+    assert!(report.prefiltered >= 1, "site B's intra pair must stay prefiltered: {report:?}");
+    assert_eq!(
+        report.prefiltered + report.contract_answered + report.cache_hits + report.rechecked,
+        report.pairs,
+        "{report:?}"
+    );
+    assert!(
+        report.retired < pooled_before,
+        "an afw-only delta must not retire site B's sessions: {report:?}"
+    );
+    assert_matches_scratch(&session, "after site-A rewrite");
+
+    // Opening site B's firewall to foreign sources flips both
+    // cross-site verdicts: the contracts (soundly) stop concluding and
+    // the pairs fall back to the exact engine, still matching scratch.
+    let delta = Delta::SetModel {
+        name: "bfw".into(),
+        kind: "acl-firewall".into(),
+        args: ["allow", "10.0.0.0/8", "->", "0.0.0.0/0"].map(String::from).to_vec(),
+    };
+    let report = session.apply(std::slice::from_ref(&delta)).expect("delta applies");
+    assert_eq!(report.modules_touched, Some(1), "{report:?}");
+    let flipped: Vec<&str> = report.changed.iter().map(|(inv, _, _, _)| inv.as_str()).collect();
+    assert!(flipped.contains(&"node-isolation a1 -> b1"), "{report:?}");
+    assert_matches_scratch(&session, "after opening bfw");
+
+    // An invariant-only delta has an empty touch footprint: even the
+    // contract-answered entries are prefiltered instead of re-derived.
+    let delta = Delta::AddInvariant { spec: "flow-isolation a2 -> b2".into() };
+    let report = session.apply(std::slice::from_ref(&delta)).expect("delta applies");
+    assert!(report.prefiltered >= 4, "untouched pairs stay cached: {report:?}");
+    assert_matches_scratch(&session, "after invariant add");
 }
