@@ -213,6 +213,13 @@ pub enum ContractError {
     /// A contract names an edge that is not a boundary edge of the
     /// partition.
     UnknownEdge { from: String, to: String },
+    /// A contract names a module the partition does not have.
+    UnknownModule { module: String },
+    /// Two declared contracts name the same module. Rejected outright:
+    /// the composition check skips contract pairs with equal module
+    /// names, so a shared name would silently skip the egress-implies-
+    /// ingress check between the two.
+    DuplicateModule { module: String },
 }
 
 impl fmt::Display for ContractError {
@@ -230,6 +237,12 @@ impl fmt::Display for ContractError {
             ),
             ContractError::UnknownEdge { from, to } => {
                 write!(f, "contract names {from} -> {to}, which is not a boundary edge")
+            }
+            ContractError::UnknownModule { module } => {
+                write!(f, "contract names module {module:?}, which is not in the partition")
+            }
+            ContractError::DuplicateModule { module } => {
+                write!(f, "two contracts declared for module {module:?}")
             }
         }
     }

@@ -16,9 +16,14 @@
 //! * a switch forwards a window to a live neighbour after narrowing the
 //!   destination side by the union of its rules toward that neighbour
 //!   (priorities and `from` qualifiers are ignored — a sound widening);
-//! * a middlebox re-emits the windows that pass
-//!   [`may_forward_windows`], a static per-model summary that collapses
-//!   to "anything" as soon as the model rewrites headers;
+//! * a middlebox emits according to its [`ForwardSummary`]: a
+//!   pass-through filter re-emits the arrived windows intersected with
+//!   the summary's set, while a model that can rewrite or replay
+//!   headers emits *any* header as soon as anything at all reaches it —
+//!   a rewritten packet (a load balancer's VIP→backend, a NAT's
+//!   restored destination, a cache's replayed response) occupies
+//!   windows unrelated to the ones it arrived in, so intersecting with
+//!   the arrival would unsoundly drop it;
 //! * terminals deliver directly to adjacent terminals owning the
 //!   destination, and inject into every adjacent switch.
 //!
@@ -165,8 +170,9 @@ fn constrain(side_src: bool, ps: Option<Vec<Prefix>>) -> WindowSet {
 /// Windows of packets that can pass a `StateContains { state, key }`
 /// read: a function of the windows of packets that can *insert* into
 /// the state, combined per (read key, declared key). Models containing
-/// header rewrites never reach this (the whole summary widens to `any`
-/// first), so insert-time headers equal guard-time headers.
+/// header rewrites never reach this (their summary is
+/// [`ForwardSummary::Rewrite`], computed without looking at guards), so
+/// insert-time headers equal guard-time headers.
 fn state_read_windows(model: &MboxModel, state: &str, read_key: KeyExpr, depth: u32) -> WindowSet {
     if depth >= STATE_DEPTH_LIMIT {
         return WindowSet::any();
@@ -209,11 +215,26 @@ fn state_read_windows(model: &MboxModel, state: &str, read_key: KeyExpr, depth: 
     }
 }
 
-/// Static summary of a middlebox model: windows the box may forward.
-/// Collapses to `any` as soon as the model can rewrite or replay
-/// headers — after that the relation between input and output windows
-/// is lost.
-pub fn may_forward_windows(model: &MboxModel) -> WindowSet {
+/// Static summary of a middlebox model's emission behaviour.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ForwardSummary {
+    /// Pass-through filter: the box re-emits an arrived packet with its
+    /// headers unchanged iff they fall in the set, so its emission is
+    /// the arrival intersected with the set.
+    Filter(WindowSet),
+    /// The model can rewrite or replay headers (address rewrites, state
+    /// restores, cached responses): the emitted headers bear no window
+    /// relation to the arrived ones, so once anything reaches the box
+    /// its emission must be widened to *any* header.
+    Rewrite,
+}
+
+/// Static summary of a middlebox model: how the windows it may emit
+/// relate to the windows that arrive. A model that only filters yields
+/// [`ForwardSummary::Filter`]; one that can rewrite or replay headers
+/// yields [`ForwardSummary::Rewrite`], because after a rewrite the
+/// input/output window relation is lost.
+pub fn forward_summary(model: &MboxModel) -> ForwardSummary {
     for rule in &model.rules {
         for a in &rule.actions {
             if matches!(
@@ -225,7 +246,7 @@ pub fn may_forward_windows(model: &MboxModel) -> WindowSet {
                     | Action::RestoreDstFromState(_)
                     | Action::RespondFromState(_)
             ) {
-                return WindowSet::any();
+                return ForwardSummary::Rewrite;
             }
         }
     }
@@ -238,7 +259,7 @@ pub fn may_forward_windows(model: &MboxModel) -> WindowSet {
             }
         }
     }
-    out
+    ForwardSummary::Filter(out)
 }
 
 /// The synthesized crossings of one scenario: for each directed live
@@ -258,10 +279,10 @@ impl CrossMap {
 /// Runs the window-propagation fixpoint for one scenario.
 pub fn synthesize(net: &Network, scenario: &FailureScenario) -> CrossMap {
     let topo = &net.topo;
-    let filters: HashMap<NodeId, WindowSet> = topo
+    let summaries: HashMap<NodeId, ForwardSummary> = topo
         .middleboxes()
         .filter(|&m| !scenario.is_failed(m))
-        .map(|m| (m, may_forward_windows(net.model(m))))
+        .map(|m| (m, forward_summary(net.model(m))))
         .collect();
     // Source widening vocabulary: the CIDR aggregate of all host /32s.
     // Widening a seed to its aggregate block only adds headers (sound)
@@ -309,9 +330,14 @@ pub fn synthesize(net: &Network, scenario: &FailureScenario) -> CrossMap {
             seed
         } else if node.kind.is_middlebox() {
             let arrived = reach.get(&v).cloned().unwrap_or_else(WindowSet::empty);
-            match filters.get(&v) {
-                Some(f) => arrived.intersect(f),
-                None => WindowSet::empty(),
+            match summaries.get(&v) {
+                Some(ForwardSummary::Filter(f)) => arrived.intersect(f),
+                // A rewriting box emits headers unrelated to the
+                // arrived ones (VIP→backend, NAT restore, cached
+                // response), so the arrival only gates *whether* it
+                // emits, never *what*.
+                Some(ForwardSummary::Rewrite) if !arrived.is_empty() => WindowSet::any(),
+                _ => WindowSet::empty(),
             }
         } else {
             reach.get(&v).cloned().unwrap_or_else(WindowSet::empty)
@@ -453,6 +479,19 @@ impl ModularContext {
         net: &Network,
         contracts: Vec<ModuleContract>,
     ) -> Result<(), ContractError> {
+        // Contract module names must resolve to partition modules, and
+        // no module may be declared twice — the composition check below
+        // skips contract pairs with equal module names, so a duplicated
+        // name would silently skip the check between the two.
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        for mc in &contracts {
+            if !self.partition.modules.iter().any(|m| m.name == mc.module) {
+                return Err(ContractError::UnknownModule { module: mc.module.clone() });
+            }
+            if !seen.insert(&mc.module) {
+                return Err(ContractError::DuplicateModule { module: mc.module.clone() });
+            }
+        }
         let synth = synthesize(net, &FailureScenario::none());
         let resolve_edge = |pc: &PortContract| -> Result<(NodeId, NodeId), ContractError> {
             let unknown =
@@ -607,9 +646,17 @@ impl ModularContext {
 mod tests {
     use super::*;
     use vmn_mbox::models;
+    use vmn_net::{RoutingConfig, Rule};
 
     fn px(s: &str) -> Prefix {
         s.parse().unwrap()
+    }
+
+    fn filter(model: &MboxModel) -> WindowSet {
+        match forward_summary(model) {
+            ForwardSummary::Filter(w) => w,
+            ForwardSummary::Rewrite => panic!("{}: expected a filtering summary", model.type_name),
+        }
     }
 
     #[test]
@@ -628,7 +675,7 @@ mod tests {
     #[test]
     fn learning_firewall_summary_is_acl_closure() {
         let fw = models::learning_firewall("fw", vec![(px("10.1.0.0/16"), px("10.2.0.0/16"))]);
-        let w = may_forward_windows(&fw);
+        let w = filter(&fw);
         assert!(!w.is_any());
         // Forward direction from the ACL…
         assert!(w.admits("10.1.0.1".parse().unwrap(), "10.2.0.1".parse().unwrap()));
@@ -639,31 +686,71 @@ mod tests {
     }
 
     #[test]
-    fn rewriting_models_collapse_to_any() {
+    fn rewriting_models_summarize_as_rewrite() {
         let nat = models::nat("nat", px("10.0.0.0/8"), "1.2.3.4".parse().unwrap());
-        assert!(may_forward_windows(&nat).is_any());
+        assert_eq!(forward_summary(&nat), ForwardSummary::Rewrite);
         let cache = models::content_cache("cache", [px("10.1.0.0/16")], vec![]);
-        assert!(may_forward_windows(&cache).is_any());
+        assert_eq!(forward_summary(&cache), ForwardSummary::Rewrite);
         let lb = models::load_balancer(
             "lb",
             "10.0.0.100".parse().unwrap(),
             vec!["10.0.0.1".parse().unwrap()],
         );
-        assert!(may_forward_windows(&lb).is_any());
+        assert_eq!(forward_summary(&lb), ForwardSummary::Rewrite);
     }
 
     #[test]
     fn pass_through_models_forward_everything() {
-        assert!(may_forward_windows(&models::gateway("gw")).is_any());
-        assert!(may_forward_windows(&models::idps("idps")).is_any());
+        assert!(filter(&models::gateway("gw")).is_any());
+        assert!(filter(&models::idps("idps")).is_any());
     }
 
     #[test]
     fn acl_firewall_summary_is_exactly_the_acl() {
         let fw = models::acl_firewall("fw", vec![(px("10.1.0.0/16"), px("10.2.0.0/16"))]);
-        let w = may_forward_windows(&fw);
+        let w = filter(&fw);
         assert!(w.admits("10.1.0.1".parse().unwrap(), "10.2.0.1".parse().unwrap()));
         // Stateless: no reverse closure.
         assert!(!w.admits("10.2.0.1".parse().unwrap(), "10.1.0.1".parse().unwrap()));
+    }
+
+    /// Regression: a rewriting box's emission must not be limited to the
+    /// windows that arrived at it. Here the only headers reaching the
+    /// load balancer carry `dst = VIP`, yet its rewritten emission
+    /// (VIP→backend) must still be synthesized as crossing into the
+    /// backend — intersecting with the arrival used to leave the
+    /// backend-facing edge empty and let the contract fast path "prove"
+    /// isolation the monolithic engine refutes.
+    #[test]
+    fn rewriting_box_widens_crossings_beyond_arrived_windows() {
+        let vip: Address = "10.2.0.100".parse().unwrap();
+        let backend: Address = "10.2.0.1".parse().unwrap();
+        let client: Address = "10.1.0.1".parse().unwrap();
+        let mut topo = Topology::new();
+        let c = topo.add_host("c", client);
+        let b = topo.add_host("b", backend);
+        let sw1 = topo.add_switch("sw1");
+        let sw2 = topo.add_switch("sw2");
+        let lb = topo.add_middlebox("lb", "load-balancer", vec![vip]);
+        for (x, y) in [(c, sw1), (sw1, lb), (lb, sw2), (sw2, b)] {
+            topo.add_link(x, y);
+        }
+        let mut rc = RoutingConfig::new();
+        rc.host_routes(&topo);
+        let mut tables = rc.build(&topo, &FailureScenario::none());
+        // Only VIP-destined traffic is routed toward the LB.
+        tables.add_rule(sw1, Rule::new(Prefix::host(vip), lb));
+        let mut net = Network::new(topo, tables);
+        net.set_model(lb, models::load_balancer("load-balancer", vip, vec![backend]));
+
+        let cross = synthesize(&net, &FailureScenario::none());
+        assert!(
+            cross.windows(sw1, lb).admits(client, vip),
+            "VIP traffic must reach the load balancer"
+        );
+        assert!(
+            cross.windows(sw2, b).admits(client, backend),
+            "the rewritten emission must cross into the backend"
+        );
     }
 }
